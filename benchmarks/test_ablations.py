@@ -1,0 +1,118 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Not a paper figure — these benches quantify the knobs the reproduction
+(and the paper's §6 future work) expose:
+
+* scoring rule: Algorithm 2 vs Algorithm 3 vs the calibrated variant;
+* number of sub-models (paper future work: "fewer number of models");
+* discretization bucket count (paper fixes 5);
+* sampling-period subsets (5 s only vs the full 5/60/900 s grid);
+* threshold false-alarm budget sweep.
+
+All run on the AODV/UDP condition, where the signal is strongest.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import cached_bundle, cached_result
+from repro.eval.metrics import recall_precision_at
+
+from benchmarks.conftest import BENCH_PLAN, print_header
+
+PLAN = replace(BENCH_PLAN, protocol="aodv", transport="udp")
+
+
+def test_ablation_scoring_rules(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            method: cached_result(PLAN, classifier="c45", method=method)
+            for method in ("match_count", "avg_probability", "calibrated_probability")
+        },
+        rounds=1, iterations=1,
+    )
+    print_header("Ablation: scoring rule (C4.5, AODV/UDP)")
+    for method, res in results.items():
+        r, p, _ = res.optimal
+        print(f"  {method:24s} auc={res.auc:7.3f} optimal=({r:.2f}, {p:.2f})")
+    # Algorithm 3 never loses to Algorithm 2 by much (paper §3: match
+    # count is the 0/1 special case of probability scoring).
+    assert results["avg_probability"].auc >= results["match_count"].auc - 0.1
+    # The calibrated variant is the reproduction's default because it
+    # dominates at this trace scale.
+    assert results["calibrated_probability"].auc >= results["avg_probability"].auc - 0.05
+
+
+def test_ablation_number_of_submodels(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            k: cached_result(PLAN, classifier="c45", max_models=k)
+            for k in (10, 35, 70, None)
+        },
+        rounds=1, iterations=1,
+    )
+    print_header("Ablation: number of sub-models (paper §6 future work)")
+    for k, res in results.items():
+        label = "all (140)" if k is None else str(k)
+        print(f"  max_models={label:9s} auc={res.auc:7.3f}")
+    # A moderate random subset retains most of the signal; the full
+    # ensemble is the reference.
+    assert results[None].auc > 0.1
+    assert results[70].auc > results[None].auc - 0.25
+
+
+def test_ablation_bucket_count(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            b: cached_result(PLAN, classifier="c45", n_buckets=b)
+            for b in (3, 5, 10)
+        },
+        rounds=1, iterations=1,
+    )
+    print_header("Ablation: discretization buckets (paper fixes 5)")
+    for b, res in results.items():
+        print(f"  n_buckets={b:2d} auc={res.auc:7.3f}")
+    assert all(res.auc > 0.0 for res in results.values())
+
+
+def test_ablation_sampling_periods(benchmark):
+    plans = {
+        "5s only": replace(PLAN, periods=(5.0,)),
+        "5s+60s": replace(PLAN, periods=(5.0, 60.0)),
+        "5/60/900s": PLAN,
+    }
+    results = benchmark.pedantic(
+        lambda: {name: cached_result(p, classifier="c45") for name, p in plans.items()},
+        rounds=1, iterations=1,
+    )
+    print_header("Ablation: sampling-period grid (Table 5 dimension)")
+    for name, res in results.items():
+        print(f"  {name:10s} auc={res.auc:7.3f}")
+    # The long-period features carry the persistent-damage signal: the
+    # full grid should not lose to the 5s-only variant.
+    assert results["5/60/900s"].auc >= results["5s only"].auc - 0.1
+
+
+def test_ablation_false_alarm_budget(benchmark):
+    res = cached_result(PLAN, classifier="c45")
+
+    def sweep():
+        out = {}
+        for rate in (0.01, 0.02, 0.05, 0.10):
+            # Recompute the operating point the budget would select from
+            # the calibration distribution.
+            thr = np.quantile(
+                res.scores[~res.labels], rate
+            )  # proxy: quantile of eval-normal scores
+            out[rate] = recall_precision_at(res.scores, res.labels, thr)
+        return out
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_header("Ablation: false-alarm budget -> operating point")
+    last_recall = -1.0
+    for rate, (r, p) in points.items():
+        print(f"  budget={rate:4.0%} recall={r:.2f} precision={p:.2f}")
+        assert r >= last_recall - 1e-9  # bigger budget -> more recall
+        last_recall = r

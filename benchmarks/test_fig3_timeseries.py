@@ -1,0 +1,85 @@
+"""Figure 3: average probability over time, normal vs abnormal, C4.5.
+
+Paper shape (§4.2): identical curves before the first intrusion at
+2500 s (25% of the trace here); afterwards the normal traces stay
+"almost flat" while abnormal traces oscillate and stay depressed —
+including between/after sessions, because the network does not self-heal
+from the black hole's maximum sequence numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import cached_result
+from repro.eval.timeseries import averaged_score_series
+
+from benchmarks.conftest import BENCH_PLAN, SCENARIOS, print_header
+
+ATTACK_START = BENCH_PLAN.blackhole_start_frac * BENCH_PLAN.duration
+
+
+def series_for(result, kind):
+    runs = [s for (name, t, s, l) in result.series if name.startswith(kind)]
+    times = next(t for (name, t, s, l) in result.series if name.startswith(kind))
+    return averaged_score_series(times, runs)
+
+
+@pytest.fixture(scope="module")
+def c45_results():
+    return {name: cached_result(plan, classifier="c45")
+            for name, plan in SCENARIOS.items()}
+
+
+def test_figure3_score_time_series(benchmark, c45_results):
+    benchmark.pedantic(
+        lambda: {n: (series_for(r, "normal"), series_for(r, "abnormal"))
+                 for n, r in c45_results.items()},
+        rounds=1, iterations=1,
+    )
+
+    print_header("Figure 3: averaged score over time (C4.5), per scenario")
+    for name, result in c45_results.items():
+        normal = series_for(result, "normal")
+        abnormal = series_for(result, "abnormal")
+        pre_n = normal.mean_in(0, ATTACK_START)
+        post_n = normal.mean_in(ATTACK_START, BENCH_PLAN.duration)
+        pre_a = abnormal.mean_in(0, ATTACK_START)
+        post_a = abnormal.mean_in(ATTACK_START, BENCH_PLAN.duration)
+        print(f"  {name:10s} normal pre/post = {pre_n:.3f}/{post_n:.3f}   "
+              f"abnormal pre/post = {pre_a:.3f}/{post_a:.3f}")
+
+        # Before the intrusion starts the abnormal trace is just another
+        # normal trace: curves comparable.
+        assert abs(pre_a - pre_n) < 0.25, name
+        # Normal curves stay flat across the attack boundary.
+        assert abs(post_n - pre_n) < 0.2, name
+
+    # The depression is the detection signal; it must appear clearly on
+    # the AODV scenarios (the paper's strongest panels).
+    for name in ("aodv/udp", "aodv/tcp"):
+        result = c45_results[name]
+        normal = series_for(result, "normal")
+        abnormal = series_for(result, "abnormal")
+        post_n = normal.mean_in(ATTACK_START, BENCH_PLAN.duration)
+        post_a = abnormal.mean_in(ATTACK_START, BENCH_PLAN.duration)
+        assert post_a < post_n - 0.05, name
+
+    _print_textual_curves(c45_results)
+
+
+def _print_textual_curves(c45_results):
+    """Render the AODV/UDP panel as text (the paper's Figure 3(a))."""
+    result = c45_results["aodv/udp"]
+    normal = series_for(result, "normal")
+    abnormal = series_for(result, "abnormal")
+    print_header("Figure 3(a) AODV/UDP: + normal, x abnormal")
+    step = max(len(normal.times) // 24, 1)
+    for k in range(0, len(normal.times), step):
+        t = normal.times[k]
+        n_pos = int(50 * np.clip(normal.scores[k], 0, 1))
+        a_pos = int(50 * np.clip(abnormal.scores[k], 0, 1))
+        line = [" "] * 51
+        line[n_pos] = "+"
+        line[a_pos] = "x" if line[a_pos] == " " else "*"
+        marker = "<- attack on" if t > ATTACK_START else ""
+        print(f"  {t:6.0f}s |{''.join(line)}| {marker}")

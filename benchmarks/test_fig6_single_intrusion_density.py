@@ -1,0 +1,72 @@
+"""Figure 6: density distributions for the single-intrusion scenarios.
+
+Paper shape (§4.2): for both the black-hole-only and the dropping-only
+compositions, the normal and abnormal densities are distinct; the normal
+mass left of the threshold (false alarms) and the intrusive mass right of
+it (missed anomalies) "are both very small", though each intrusion type
+shows a different distribution.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.eval.density import score_density, separation_summary
+from repro.eval.experiments import cached_result
+
+from benchmarks.conftest import BENCH_PLAN, print_header
+
+AODV_UDP = replace(BENCH_PLAN, protocol="aodv", transport="udp")
+
+
+@pytest.fixture(scope="module")
+def single_densities():
+    out = {}
+    for kind in ("blackhole", "dropping"):
+        result = cached_result(replace(AODV_UDP, attack_kind=kind), classifier="c45")
+        normal = np.concatenate(
+            [s for (n, t, s, l) in result.series if n.startswith("normal")]
+        )
+        abnormal = np.concatenate(
+            [s[l] for (n, t, s, l) in result.series if n.startswith("abnormal")]
+        )
+        out[kind] = {
+            "normal": score_density(normal),
+            "abnormal": score_density(abnormal),
+            "threshold": result.threshold,
+        }
+    return out
+
+
+def test_figure6_densities(benchmark, single_densities):
+    benchmark.pedantic(
+        lambda: {
+            k: separation_summary(d["normal"], d["abnormal"], d["threshold"])
+            for k, d in single_densities.items()
+        },
+        rounds=1, iterations=1,
+    )
+
+    print_header("Figure 6: single-intrusion density separation (AODV/UDP/C4.5)")
+    means = {}
+    for kind, d in single_densities.items():
+        summary = separation_summary(d["normal"], d["abnormal"], d["threshold"])
+        n_mean = float((d["normal"].bin_centers * d["normal"].density).sum()
+                       / d["normal"].density.sum())
+        a_mean = float((d["abnormal"].bin_centers * d["abnormal"].density).sum()
+                       / d["abnormal"].density.sum())
+        means[kind] = (n_mean, a_mean)
+        print(f"  {kind:10s} thr={d['threshold']:.3f} "
+              f"normal-mean={n_mean:.3f} abnormal-mean={a_mean:.3f} "
+              f"false-alarm-mass={summary['false_alarm_mass']:.2%} "
+              f"missed-mass={summary['missed_anomaly_mass']:.2%}")
+
+        # The plots between normal and abnormal traces are distinct.
+        assert a_mean < n_mean, kind
+        # The normal mass left of the threshold is small by construction
+        # (the threshold was calibrated at a 2% false-alarm budget).
+        assert summary["false_alarm_mass"] < 0.25, kind
+
+    # Different intrusion scenarios show different distributions.
+    assert means["blackhole"] != means["dropping"]

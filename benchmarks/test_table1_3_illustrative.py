@@ -1,0 +1,55 @@
+"""Tables 1-3: the §3 two-node illustrative example, regenerated exactly.
+
+This is the one experiment where the paper's *absolute numbers* must be
+matched digit for digit — the example is fully deterministic.
+"""
+
+import pytest
+
+from repro.core.illustrative import TwoNodeExample
+
+from benchmarks.conftest import print_header
+
+PAPER_TABLE_3 = {
+    (True, True, True): ("Normal", 1.00, 1.00),
+    (True, False, False): ("Normal", 1.00, 0.83),
+    (False, False, True): ("Normal", 1.00, 0.83),
+    (False, False, False): ("Normal", 0.33, 0.67),
+    (True, True, False): ("Abnormal", 0.33, 0.17),
+    (True, False, True): ("Abnormal", 0.00, 0.00),
+    (False, True, True): ("Abnormal", 0.33, 0.17),
+    (False, True, False): ("Abnormal", 0.00, 0.33),
+}
+
+
+def build_and_score():
+    example = TwoNodeExample()
+    return example, example.all_event_scores()
+
+
+def test_tables_1_to_3(benchmark):
+    example, scores = benchmark(build_and_score)
+
+    print_header("Table 1: complete set of normal events")
+    for event in example.normal_events():
+        print(f"  {event}")
+    assert len(example.normal_events()) == 4
+
+    print_header("Table 3: all eight events (paper values in parentheses)")
+    print(f"  {'event':30s} {'class':9s} {'match':>12s} {'probability':>16s}")
+    for score in scores:
+        cls, mc, ap = PAPER_TABLE_3[score.event]
+        print(
+            f"  {str(score.event):30s} {cls:9s} "
+            f"{score.avg_match_count:5.2f} ({mc:4.2f}) "
+            f"{score.avg_probability:8.2f} ({ap:4.2f})"
+        )
+        assert score.is_normal == (cls == "Normal")
+        assert score.avg_match_count == pytest.approx(mc, abs=0.005)
+        assert score.avg_probability == pytest.approx(ap, abs=0.005)
+
+    errors = example.classify_all(threshold=0.5)
+    print_header("Headline: Algorithm 3 perfect, Algorithm 2 one false alarm")
+    print(f"  {errors}")
+    assert errors["alg3_false_alarms"] == 0 and errors["alg3_misses"] == 0
+    assert errors["alg2_false_alarms"] == 1 and errors["alg2_misses"] == 0

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Protocol comparison: AODV vs DSR under identical load and attacks.
+
+Reproduces the paper's §4.2 protocol-level findings at example scale:
+
+* both protocols deliver comparably under normal mobility;
+* a black hole collapses delivery for both, but by different mechanisms
+  (forged max-sequence routes for AODV, forged short source routes for
+  DSR), and AODV never self-heals (the poisoned sequence numbers are
+  permanent) while DSR's cache eventually ages the poison out;
+* anomaly detection is easier on AODV than DSR.
+
+Run:  python examples/aodv_vs_dsr.py        (~3-4 minutes)
+"""
+
+from repro import CrossFeatureDetector, extract_features, run_scenario
+from repro.attacks import BlackholeAttack
+from repro.eval.metrics import area_above_diagonal, optimal_point, precision_recall_curve
+from repro.features.extraction import FeatureDataset
+from repro.simulation.scenario import ScenarioConfig
+
+import numpy as np
+
+DURATION = 600.0
+N_NODES = 16
+
+
+def config(protocol: str, seed: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        protocol=protocol, transport="udp", n_nodes=N_NODES, duration=DURATION,
+        max_connections=60, seed=seed, traffic_seed=5,
+    )
+
+
+def main() -> None:
+    for protocol in ("aodv", "dsr"):
+        print("=" * 60)
+        print(f"{protocol.upper()}")
+        print("=" * 60)
+
+        normal = run_scenario(config(protocol, seed=21))
+        print(f"normal delivery ratio:      {normal.delivery_ratio():.2f}")
+
+        attack = BlackholeAttack(attacker=N_NODES - 1,
+                                 sessions=[(150.0, DURATION)])
+        attacked = run_scenario(config(protocol, seed=21), attacks=[attack])
+        print(f"under black hole:           {attacked.delivery_ratio():.2f} "
+              f"({attack.absorbed} packets absorbed)")
+
+        # Train a detector and measure separability for this protocol.
+        def features(seed, attacks=()):
+            trace = run_scenario(config(protocol, seed), attacks=list(attacks))
+            return extract_features(trace, monitor=0, warmup=100.0,
+                                    label_policy="post_attack")
+
+        train = FeatureDataset.concat([features(11), features(12)])
+        calib = features(13)
+        det = CrossFeatureDetector(method="calibrated_probability")
+        det.fit(train.X, calibration_X=calib.X)
+
+        eval_normal = features(22)
+        eval_attack = features(
+            31,
+            [BlackholeAttack(attacker=N_NODES - 1, sessions=[(150.0, 200.0),
+                                                             (300.0, 350.0),
+                                                             (450.0, 500.0)])],
+        )
+        scores = np.concatenate([det.score(eval_normal.X), det.score(eval_attack.X)])
+        labels = np.concatenate([eval_normal.labels, eval_attack.labels])
+        curve = precision_recall_curve(scores, labels)
+        r, p, _ = optimal_point(curve)
+        print(f"detection AUC (above diagonal): {area_above_diagonal(curve):.3f}")
+        print(f"optimal operating point:        recall {r:.2f}, precision {p:.2f}")
+        print()
+
+    print("Expected shape (paper §4.2): results from AODV are significantly "
+          "better than those from DSR.")
+
+
+if __name__ == "__main__":
+    main()

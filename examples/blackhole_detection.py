@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""End-to-end MANET intrusion detection: black hole attack on AODV.
+
+The paper's core experiment at example scale: simulate normal MANET
+traffic, train a cross-feature detector on the normal traces, then inject
+a black hole attack (forged maximum-sequence-number route advertisements
+plus silent data absorption) and watch the detector flag the intrusion
+windows.
+
+Run:  python examples/blackhole_detection.py        (~2-3 minutes)
+"""
+
+import numpy as np
+
+from repro import CrossFeatureDetector, CLASSIFIERS, extract_features, run_scenario
+from repro.attacks import BlackholeAttack, periodic_sessions
+from repro.features.extraction import FeatureDataset
+from repro.simulation.scenario import ScenarioConfig
+
+N_NODES = 16
+DURATION = 600.0
+ATTACKER = N_NODES - 1
+MONITOR = 0
+WARMUP = 100.0
+
+
+def simulate(seed: int, attacks=()) -> FeatureDataset:
+    config = ScenarioConfig(
+        protocol="aodv",
+        transport="udp",
+        n_nodes=N_NODES,
+        duration=DURATION,
+        max_connections=60,
+        seed=seed,
+        traffic_seed=5,  # one connection pattern across all traces
+    )
+    trace = run_scenario(config, attacks=list(attacks))
+    print(f"  seed {seed}: {trace.data_originated} data packets originated, "
+          f"delivery ratio {trace.delivery_ratio():.2f}")
+    return extract_features(trace, monitor=MONITOR, warmup=WARMUP,
+                            label_policy="post_attack")
+
+
+def main() -> None:
+    print("Simulating two normal training traces + one calibration trace ...")
+    train = FeatureDataset.concat([simulate(11), simulate(12)])
+    calibration = simulate(13)
+
+    print("Training C4.5 sub-models (one per feature, Algorithm 1) ...")
+    detector = CrossFeatureDetector(
+        classifier_factory=CLASSIFIERS["c45"],
+        method="calibrated_probability",
+        false_alarm_rate=0.02,
+    )
+    detector.fit(train.X, feature_names=train.feature_names,
+                 calibration_X=calibration.X)
+    print(f"  {detector.model.n_models} sub-models trained, "
+          f"decision threshold {detector.threshold_:.3f}")
+
+    print("Simulating an attack trace: black hole sessions from t=150 s ...")
+    attack = BlackholeAttack(
+        attacker=ATTACKER,
+        sessions=periodic_sessions(start=150.0, duration=40.0, until=DURATION),
+    )
+    abnormal = simulate(31, attacks=[attack])
+    print(f"  attacker absorbed {attack.absorbed} data packets, "
+          f"sent {attack.adverts_sent} forged route adverts")
+
+    print("\nScoring the attack trace window by window:")
+    scores = detector.score(abnormal.X)
+    alarms = detector.predict(abnormal.X)
+    for block_start in np.arange(WARMUP, DURATION, 50.0):
+        mask = (abnormal.times > block_start) & (abnormal.times <= block_start + 50.0)
+        if not mask.any():
+            continue
+        bar = "#" * int(40 * scores[mask].mean())
+        flag = f"{alarms[mask].mean():5.0%} alarms"
+        attacked = "ATTACK ACTIVE" if abnormal.labels[mask].any() else ""
+        print(f"  t={block_start:5.0f}-{block_start + 50:5.0f}s "
+              f"score={scores[mask].mean():.3f} {flag:12s} {bar:40s} {attacked}")
+
+    intrusion = abnormal.labels
+    recall = (alarms & intrusion).sum() / max(intrusion.sum(), 1)
+    precision = (alarms & intrusion).sum() / max(alarms.sum(), 1)
+    print(f"\nDetection at the calibrated threshold: "
+          f"recall {recall:.2f}, precision {precision:.2f}")
+
+    # The paper's §6: the model "can be examined by human experts".
+    worst = int(np.argmin(scores))
+    print(f"\nWhy was the window at t={abnormal.times[worst]:.0f}s flagged?")
+    for entry in detector.explain(abnormal.X[worst], top_k=5):
+        print(f"  {entry['feature']:40s} p(true value)={entry['p_true']:.3f} "
+              f"(normally {entry['baseline']:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Cross-feature analysis beyond MANET: credit-card fraud detection.
+
+The paper's §6: "we believe that it is a *general* anomaly detection
+approach ... Initial experiments using credit card fraud detection have
+revealed promising results."  The original data is proprietary, so this
+example uses a synthetic transaction stream in which normal spending has
+strong inter-feature correlation and fraud breaks the joint pattern while
+every individual value stays plausible — exactly the regime the framework
+targets.
+
+Run:  python examples/credit_card_fraud.py        (a few seconds)
+"""
+
+import numpy as np
+
+from repro import CLASSIFIERS, CrossFeatureDetector
+from repro.datasets import generate_fraud_dataset
+from repro.eval.metrics import area_above_diagonal, optimal_point, precision_recall_curve
+
+
+def main() -> None:
+    data = generate_fraud_dataset(n_normal=3000, n_fraud=300, seed=1)
+    normal = data.normal_only()
+    train, calib, held_out = normal[:1800], normal[1800:2400], normal[2400:]
+    fraud = data.fraud_only()
+    print(f"{len(data)} transactions: {len(normal)} legitimate, {len(fraud)} fraudulent")
+    print(f"features: {', '.join(data.feature_names)}\n")
+
+    print(f"{'classifier':10s} {'AUC':>6s} {'recall':>7s} {'precision':>9s} "
+          f"{'FA on held-out normal':>22s}")
+    for name in ("c45", "ripper", "nbc"):
+        detector = CrossFeatureDetector(
+            classifier_factory=CLASSIFIERS[name],
+            method="calibrated_probability",
+            false_alarm_rate=0.03,
+        )
+        detector.fit(train, feature_names=data.feature_names, calibration_X=calib)
+
+        scores = np.concatenate([detector.score(held_out), detector.score(fraud)])
+        labels = np.concatenate([np.zeros(len(held_out), bool), np.ones(len(fraud), bool)])
+        curve = precision_recall_curve(scores, labels)
+        r, p, _ = optimal_point(curve)
+        false_alarms = detector.predict(held_out).mean()
+        print(f"{name:10s} {area_above_diagonal(curve):6.3f} {r:7.2f} {p:9.2f} "
+              f"{false_alarms:22.1%}")
+
+    print("\nPer-transaction view (C4.5): ten most anomalous transactions")
+    detector = CrossFeatureDetector(method="calibrated_probability")
+    detector.fit(train, feature_names=data.feature_names, calibration_X=calib)
+    all_scores = detector.score(data.X)
+    worst = np.argsort(all_scores)[:10]
+    hits = data.labels[worst].sum()
+    print(f"  {hits}/10 of the lowest-scoring transactions are actual fraud")
+
+
+if __name__ == "__main__":
+    main()

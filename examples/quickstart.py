@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's §3 two-node illustrative example.
+
+Reproduces Tables 1-3 — the complete normal-event set, the three
+sub-models and the average match count / average probability of all eight
+possible events — then shows the same framework on generated data with
+the real C4.5-backed pipeline.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CrossFeatureDetector, TwoNodeExample
+
+
+def fmt(b: bool) -> str:
+    return "True " if b else "False"
+
+
+def main() -> None:
+    example = TwoNodeExample()
+
+    print("=" * 66)
+    print("Table 1: complete set of normal events (2-node network)")
+    print("=" * 66)
+    print("Reachable?  Delivered?  Cached?")
+    for event in example.normal_events():
+        print("   ".join(f"{fmt(v):>8s}" for v in event))
+
+    print()
+    print("=" * 66)
+    print("Table 2: sub-models (other features -> labelled feature)")
+    print("=" * 66)
+    for target, name in enumerate(["Reachable?", "Delivered?", "Cached?"]):
+        print(f"-- sub-model with respect to {name!r}")
+        for rule in example.sub_model_rules(target):
+            others = ", ".join(fmt(v) for v in rule.others)
+            print(f"   ({others}) -> {fmt(rule.predicted)}  p={rule.probability}")
+
+    print()
+    print("=" * 66)
+    print("Table 3: both algorithms over all eight possible events")
+    print("=" * 66)
+    print(f"{'Event':28s} {'Class':9s} {'AvgMatch':>8s} {'AvgProb':>8s}")
+    for score in example.all_event_scores():
+        event = ", ".join(fmt(v) for v in score.event)
+        cls = "Normal" if score.is_normal else "Abnormal"
+        print(f"({event})  {cls:9s} {score.avg_match_count:8.2f} {score.avg_probability:8.2f}")
+
+    errors = example.classify_all(threshold=0.5)
+    print()
+    print(f"At threshold 0.5: Algorithm 2 (match count) false alarms: "
+          f"{errors['alg2_false_alarms']}, misses: {errors['alg2_misses']}")
+    print(f"                  Algorithm 3 (probability)  false alarms: "
+          f"{errors['alg3_false_alarms']}, misses: {errors['alg3_misses']}")
+    print("(matches the paper: Algorithm 3 is perfect; Algorithm 2 raises one "
+          "false alarm on {False, False, False})")
+
+    # ------------------------------------------------------------------
+    print()
+    print("=" * 66)
+    print("The same idea with the real pipeline (C4.5 sub-models)")
+    print("=" * 66)
+    rng = np.random.default_rng(0)
+    activity = rng.uniform(0, 10, size=500)
+    X_normal = np.column_stack([
+        activity + rng.normal(0, 0.3, 500),
+        2 * activity + rng.normal(0, 0.5, 500),
+        activity ** 1.5 + rng.normal(0, 0.5, 500),
+    ])
+    detector = CrossFeatureDetector(method="calibrated_probability",
+                                    false_alarm_rate=0.05)
+    detector.fit(X_normal)
+
+    fresh = np.column_stack([
+        rng.uniform(0, 10, 100),
+        rng.uniform(0, 20, 100),
+        rng.uniform(0, 32, 100),
+    ])  # individually plausible, jointly inconsistent
+    held_out_activity = rng.uniform(0, 10, 100)
+    held_out = np.column_stack([
+        held_out_activity + rng.normal(0, 0.3, 100),
+        2 * held_out_activity + rng.normal(0, 0.5, 100),
+        held_out_activity ** 1.5 + rng.normal(0, 0.5, 100),
+    ])
+    print(f"alarms on held-out normal data:       {detector.predict(held_out).mean():6.1%}")
+    print(f"alarms on correlation-breaking data:  {detector.predict(fresh).mean():6.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Detecting an attack the detector never saw: the update storm.
+
+The paper's central claim for anomaly detection is that it "can be
+effective against new attacks because it does not assume prior knowledge
+of attack patterns".  This example trains the detector on normal traffic
+only — as always — and then evaluates it against the §2.3 *update storm*
+attack (meaningless route-discovery flooding), an attack class entirely
+different from the black hole and packet-dropping attacks the paper's
+other experiments use.
+
+Run:  python examples/update_storm.py        (~2 minutes)
+"""
+
+import numpy as np
+
+from repro import CrossFeatureDetector, extract_features, run_scenario
+from repro.attacks import UpdateStormAttack, periodic_sessions
+from repro.features.extraction import FeatureDataset
+from repro.simulation.scenario import ScenarioConfig
+
+DURATION = 600.0
+N_NODES = 16
+
+
+def features(seed, attacks=()):
+    cfg = ScenarioConfig(protocol="aodv", transport="udp", n_nodes=N_NODES,
+                         duration=DURATION, max_connections=60, seed=seed,
+                         traffic_seed=5)
+    trace = run_scenario(cfg, attacks=list(attacks))
+    return extract_features(trace, monitor=0, warmup=100.0,
+                            label_policy="session")
+
+
+def main() -> None:
+    print("Training on normal traffic only ...")
+    train = FeatureDataset.concat([features(11), features(12)])
+    calib = features(13)
+    detector = CrossFeatureDetector(method="calibrated_probability",
+                                    false_alarm_rate=0.02)
+    detector.fit(train.X, feature_names=train.feature_names,
+                 calibration_X=calib.X)
+
+    print("Injecting an update storm (never seen during training) ...")
+    storm = UpdateStormAttack(
+        attacker=N_NODES - 1,
+        sessions=periodic_sessions(start=200.0, duration=50.0, until=DURATION),
+        rate=30.0,
+    )
+    abnormal = features(31, [storm])
+    print(f"  {storm.floods_sent} meaningless route requests flooded")
+
+    alarms = detector.predict(abnormal.X)
+    in_session = abnormal.labels
+    recall = (alarms & in_session).sum() / in_session.sum()
+    fa = (alarms & ~in_session).sum() / (~in_session).sum()
+    print(f"\nstorm-session windows flagged: {recall:.1%}")
+    print(f"out-of-session windows flagged: {fa:.1%}")
+
+    normal_eval = features(22)
+    print(f"windows flagged on a fresh normal trace: "
+          f"{detector.predict(normal_eval.X).mean():.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim for legacy editable installs.
+
+The environment ships setuptools 65 without the ``wheel`` package, so PEP
+660 editable installs (``pip install -e .`` via pyproject alone) cannot
+build.  This shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (or plain ``pip install -e .`` on newer toolchains)
+work; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

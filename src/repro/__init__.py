@@ -1,0 +1,72 @@
+"""repro — Cross-Feature Analysis for Detecting Ad-Hoc Routing Anomalies.
+
+A full reproduction of Huang, Fan, Lee & Yu (ICDCS 2003): the
+cross-feature analysis anomaly-detection framework, the MANET simulation
+substrate it was evaluated on (AODV/DSR routing over a mobile wireless
+medium with CBR/TCP traffic), the black hole and packet dropping attacks,
+the Table 4/5 feature sets, and from-scratch C4.5 / RIPPER / naive Bayes
+sub-model engines.
+
+Quickstart::
+
+    from repro import ExperimentPlan, cached_bundle, run_detection_experiment
+
+    plan = ExperimentPlan(protocol="aodv", transport="udp", duration=600.0)
+    bundle = cached_bundle(plan)
+    result = run_detection_experiment(bundle, classifier="c45")
+    print(result.auc, result.optimal)
+"""
+
+from repro.core import (
+    CrossFeatureDetector,
+    CrossFeatureModel,
+    EqualFrequencyDiscretizer,
+    RegressionCrossFeatureModel,
+    TwoNodeExample,
+    average_match_count,
+    average_probability,
+    select_threshold,
+)
+from repro.eval.experiments import (
+    DetectionResult,
+    ExperimentPlan,
+    TraceBundle,
+    cached_bundle,
+    cached_result,
+    four_scenarios,
+    run_detection_experiment,
+    simulate_bundle,
+)
+from repro.features import FeatureDataset, extract_features
+from repro.ml import CLASSIFIERS, C45Classifier, NaiveBayesClassifier, RipperClassifier
+from repro.simulation import ScenarioConfig, SimulationTrace, run_scenario
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CLASSIFIERS",
+    "C45Classifier",
+    "CrossFeatureDetector",
+    "CrossFeatureModel",
+    "DetectionResult",
+    "EqualFrequencyDiscretizer",
+    "ExperimentPlan",
+    "FeatureDataset",
+    "NaiveBayesClassifier",
+    "RegressionCrossFeatureModel",
+    "RipperClassifier",
+    "ScenarioConfig",
+    "SimulationTrace",
+    "TraceBundle",
+    "TwoNodeExample",
+    "average_match_count",
+    "average_probability",
+    "cached_bundle",
+    "cached_result",
+    "extract_features",
+    "four_scenarios",
+    "run_detection_experiment",
+    "run_scenario",
+    "select_threshold",
+    "simulate_bundle",
+]

@@ -1,0 +1,31 @@
+"""MANET routing attacks (Table 6) plus the paper's §2.3 taxonomy extras.
+
+* :class:`BlackholeAttack` — forged freshest-route advertisements absorb
+  all nearby traffic at the compromised node, which then drops it.
+* :class:`PacketDroppingAttack` — selective (per-destination) dropping as
+  in Table 6, plus the random / constant / periodic variants from the
+  attack taxonomy in §2.3.
+* :class:`UpdateStormAttack` — the "update storm" route-logic attack from
+  §2.3: meaningless route-discovery floods that exhaust bandwidth.
+
+All attacks run under the paper's on-off intrusion session model (equal
+session duration and inter-session gap, or explicit session lists) and
+expose their active intervals as ground truth for labelling trace windows.
+"""
+
+from repro.attacks.base import Attack, merge_intervals, periodic_sessions
+from repro.attacks.blackhole import BlackholeAttack
+from repro.attacks.dropping import DropMode, PacketDroppingAttack
+from repro.attacks.flooding import UpdateStormAttack
+from repro.attacks.impersonation import ImpersonationAttack
+
+__all__ = [
+    "Attack",
+    "BlackholeAttack",
+    "DropMode",
+    "ImpersonationAttack",
+    "PacketDroppingAttack",
+    "UpdateStormAttack",
+    "merge_intervals",
+    "periodic_sessions",
+]

@@ -1,0 +1,106 @@
+"""Attack framework: on-off intrusion sessions and ground-truth intervals.
+
+The paper does not run attacks continuously ("otherwise it could become an
+obvious target"): intrusion sessions are inserted periodically, with the
+session duration equal to the gap between sessions.  :func:`periodic_sessions`
+builds that schedule; an :class:`Attack` can also be given an explicit
+session list (Figure 5 uses sessions at 2500 s, 5000 s and 7500 s of 100 s
+each).
+
+Ground truth: each attack knows its session intervals, and
+:func:`merge_intervals` combines several attacks' intervals into the
+window-labelling function used by the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.simulation.engine import Simulator
+from repro.simulation.node import Node
+
+Interval = tuple[float, float]
+
+
+def periodic_sessions(
+    start: float,
+    duration: float,
+    until: float,
+    gap: float | None = None,
+) -> list[Interval]:
+    """The paper's on-off schedule: sessions of ``duration`` separated by
+    ``gap`` (defaulting to ``duration``, as in §4.1), from ``start`` to
+    ``until``."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    gap = duration if gap is None else gap
+    sessions = []
+    t = start
+    while t < until:
+        sessions.append((t, min(t + duration, until)))
+        t += duration + gap
+    return sessions
+
+
+def merge_intervals(intervals: Sequence[Interval]) -> list[Interval]:
+    """Union of possibly-overlapping intervals, sorted and coalesced."""
+    if not intervals:
+        return []
+    ordered = sorted(intervals)
+    merged = [list(ordered[0])]
+    for s, e in ordered[1:]:
+        if s <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], e)
+        else:
+            merged.append([s, e])
+    return [(s, e) for s, e in merged]
+
+
+class Attack(ABC):
+    """A compromised-node behaviour active during its sessions.
+
+    Subclasses implement :meth:`activate` / :meth:`deactivate`; the base
+    class schedules them at session boundaries once :meth:`install` wires
+    the attack to the simulation.
+    """
+
+    def __init__(self, attacker: int, sessions: Sequence[Interval]):
+        self.attacker = attacker
+        self.sessions = list(sessions)
+        self.sim: Simulator | None = None
+        self.nodes: list[Node] | None = None
+        self.active = False
+
+    @property
+    def node(self) -> Node:
+        """The compromised node (valid after :meth:`install`)."""
+        if self.nodes is None:
+            raise RuntimeError("attack not installed")
+        return self.nodes[self.attacker]
+
+    def install(self, sim: Simulator, nodes: list[Node]) -> None:
+        """Wire the attack into a simulation and schedule its sessions."""
+        if not 0 <= self.attacker < len(nodes):
+            raise ValueError(f"attacker id {self.attacker} out of range")
+        self.sim = sim
+        self.nodes = nodes
+        for start, end in self.sessions:
+            sim.schedule_at(start, self._activate)
+            sim.schedule_at(end, self._deactivate)
+
+    def _activate(self) -> None:
+        self.active = True
+        self.activate()
+
+    def _deactivate(self) -> None:
+        self.active = False
+        self.deactivate()
+
+    @abstractmethod
+    def activate(self) -> None:
+        """Turn the malicious behaviour on (session start)."""
+
+    @abstractmethod
+    def deactivate(self) -> None:
+        """Turn the malicious behaviour off (session end)."""

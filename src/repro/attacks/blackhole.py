@@ -1,0 +1,94 @@
+"""Black hole attack (Table 6).
+
+While a session is active, the compromised node
+
+1. floods forged route advertisements — protocol-specific forged RREQs
+   built by :meth:`AodvProtocol.forge_route_advert` /
+   :meth:`DsrProtocol.forge_route_advert` — iterating over every other node
+   as the claimed source, so that *all* traffic flows, no matter their
+   destination, bend toward the attacker ("a region in space in which the
+   pull of gravity is so strong that nothing can escape");
+2. silently drops every data packet that arrives for forwarding (the
+   denial-of-service payload of the attack).
+
+For AODV the forged sequence number is the maximum allowed value, so — as
+the paper observes in §4.2 — the poisoned routes are never displaced after
+the session ends: the network does not self-heal.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.attacks.base import Attack, Interval
+from repro.simulation.packet import Direction, Packet, PacketType
+
+
+class BlackholeAttack(Attack):
+    """Forged-freshest-route black hole.
+
+    Parameters
+    ----------
+    attacker:
+        Compromised node id.
+    sessions:
+        Active intervals (see :mod:`repro.attacks.base`).
+    advert_interval:
+        How often the full victim sweep is re-broadcast while active.
+        Re-advertising keeps newly discovered legitimate routes suppressed.
+    """
+
+    def __init__(
+        self,
+        attacker: int,
+        sessions: Sequence[Interval],
+        advert_interval: float = 5.0,
+    ):
+        super().__init__(attacker, sessions)
+        self.advert_interval = advert_interval
+        self.adverts_sent = 0
+        self.absorbed = 0
+        self._epoch = 0  # invalidates stale advert loops after deactivation
+
+    # ------------------------------------------------------------------
+    def activate(self) -> None:
+        node = self.node
+        node.drop_filter = self._absorb
+        self._epoch += 1
+        self._advert_sweep(self._epoch)
+
+    def deactivate(self) -> None:
+        self.node.drop_filter = None
+        self._epoch += 1
+
+    # ------------------------------------------------------------------
+    def _absorb(self, packet: Packet) -> bool:
+        """Drop every data packet offered for forwarding."""
+        self.absorbed += 1
+        return True
+
+    def _advert_sweep(self, epoch: int) -> None:
+        if epoch != self._epoch or not self.active:
+            return
+        node = self.node
+        routing = node.routing
+        assert routing is not None and self.sim is not None
+        n_nodes = len(self.nodes or [])
+        victims = [v for v in range(n_nodes) if v != self.attacker]
+        spacing = self.advert_interval / max(len(victims), 1) * 0.5
+        for i, victim in enumerate(victims):
+            self.sim.schedule(i * spacing, self._advertise, victim, epoch)
+        self.sim.schedule(self.advert_interval, self._advert_sweep, epoch)
+
+    def _advertise(self, victim: int, epoch: int) -> None:
+        if epoch != self._epoch or not self.active:
+            return
+        node = self.node
+        packet = node.routing.forge_route_advert(victim)  # type: ignore[union-attr]
+        # The forged flood is on-air traffic like any other: the attacker's
+        # own trace records the send, and every processing node records the
+        # reception — that control-traffic surge is part of the anomaly
+        # signature the detector picks up.
+        node.stats.log_packet(node.sim.now, packet.ptype, Direction.SENT)
+        node.broadcast(packet)
+        self.adverts_sent += 1

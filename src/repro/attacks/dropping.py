@@ -1,0 +1,93 @@
+"""Packet dropping attacks.
+
+Table 6 evaluates **selective** dropping (drop packets addressed to a
+specific destination); §2.3's taxonomy also names **random**, **constant**
+and **periodic** variants, all implemented here behind one predicate-based
+attack.  The drop is silent: the compromised node records nothing, exactly
+like a selfish or failed relay — the detector has to see the anomaly in the
+*surrounding* nodes' traffic statistics.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+from repro.attacks.base import Attack, Interval
+from repro.simulation.packet import Packet, PacketType
+
+
+class DropMode(str, Enum):
+    """Dropping variants from §2.3."""
+
+    SELECTIVE = "selective"  #: drop packets for a specific destination
+    RANDOM = "random"        #: drop each packet with probability ``drop_prob``
+    CONSTANT = "constant"    #: drop every packet
+    PERIODIC = "periodic"    #: drop during a duty-cycled fraction of time
+
+
+class PacketDroppingAttack(Attack):
+    """Silent data-packet dropping at a compromised relay.
+
+    Parameters
+    ----------
+    attacker, sessions:
+        Compromised node and active intervals.
+    mode:
+        Dropping variant.
+    destination:
+        Target destination for :attr:`DropMode.SELECTIVE` (required there,
+        ignored otherwise) — the Table 6 script parameter.
+    drop_prob:
+        Per-packet drop probability for :attr:`DropMode.RANDOM`.
+    period, duty:
+        For :attr:`DropMode.PERIODIC`: drop during the first
+        ``duty * period`` seconds of every ``period``-second cycle.
+    """
+
+    def __init__(
+        self,
+        attacker: int,
+        sessions: Sequence[Interval],
+        mode: DropMode = DropMode.SELECTIVE,
+        destination: int | None = None,
+        drop_prob: float = 0.5,
+        period: float = 10.0,
+        duty: float = 0.5,
+    ):
+        super().__init__(attacker, sessions)
+        self.mode = DropMode(mode)
+        if self.mode is DropMode.SELECTIVE and destination is None:
+            raise ValueError("selective dropping requires a destination")
+        if not 0.0 <= drop_prob <= 1.0:
+            raise ValueError("drop_prob must be in [0, 1]")
+        self.destination = destination
+        self.drop_prob = drop_prob
+        self.period = period
+        self.duty = duty
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    def activate(self) -> None:
+        self.node.drop_filter = self._should_drop
+
+    def deactivate(self) -> None:
+        self.node.drop_filter = None
+
+    # ------------------------------------------------------------------
+    def _should_drop(self, packet: Packet) -> bool:
+        if packet.ptype != PacketType.DATA:
+            return False
+        if self.mode is DropMode.SELECTIVE:
+            drop = packet.dest == self.destination
+        elif self.mode is DropMode.RANDOM:
+            assert self.sim is not None
+            drop = self.sim.rng.random() < self.drop_prob
+        elif self.mode is DropMode.CONSTANT:
+            drop = True
+        else:  # PERIODIC
+            assert self.sim is not None
+            drop = (self.sim.now % self.period) < self.duty * self.period
+        if drop:
+            self.dropped += 1
+        return drop

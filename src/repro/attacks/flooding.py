@@ -1,0 +1,69 @@
+"""Update storm attack (§2.3 route-logic taxonomy).
+
+"The malicious node deliberately floods the whole network with meaningless
+route discovery messages ... to exhaust the network bandwidth and
+effectively paralyze the network."  Implemented as a high-rate stream of
+route requests for rotating targets: every request triggers a network-wide
+rebroadcast flood, and the interface-queue serialization in the medium
+turns the storm into real congestion (queue drops, delayed data).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.attacks.base import Attack, Interval
+from repro.simulation.packet import BROADCAST, Direction, Packet, PacketType
+
+
+class UpdateStormAttack(Attack):
+    """Meaningless route-discovery flooding.
+
+    Parameters
+    ----------
+    rate:
+        Forged route requests per second while a session is active.
+    """
+
+    def __init__(self, attacker: int, sessions: Sequence[Interval], rate: float = 20.0):
+        super().__init__(attacker, sessions)
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+        self.floods_sent = 0
+        self._epoch = 0
+        self._rreq_id = 1 << 24  # distinct id space: every flood is "new"
+
+    def activate(self) -> None:
+        self._epoch += 1
+        self._flood_tick(self._epoch)
+
+    def deactivate(self) -> None:
+        self._epoch += 1
+
+    def _flood_tick(self, epoch: int) -> None:
+        if epoch != self._epoch or not self.active:
+            return
+        assert self.sim is not None and self.nodes is not None
+        node = self.node
+        self._rreq_id += 1
+        # A discovery for a rotating (often unreachable) target: the id is
+        # always fresh so every node rebroadcasts it.
+        target = self.sim.rng.randrange(len(self.nodes) + 8)
+        info: dict = {"rreq_id": self._rreq_id, "target": target}
+        if node.routing is not None and node.routing.name == "aodv":
+            info.update({"origin_seq": 1, "target_seq": 0})
+        else:
+            info.update({"route": [node.node_id]})
+        packet = Packet(
+            ptype=PacketType.RREQ,
+            origin=node.node_id,
+            dest=BROADCAST,
+            size=48,
+            ttl=16,
+            info=info,
+        )
+        node.stats.log_packet(node.sim.now, PacketType.RREQ, Direction.SENT)
+        node.broadcast(packet)
+        self.floods_sent += 1
+        self.sim.schedule(1.0 / self.rate, self._flood_tick, epoch)

@@ -1,0 +1,147 @@
+"""Identity impersonation attack (§2.3 traffic-distortion taxonomy).
+
+"Attackers can impersonate another user to achieve various malicious
+goals ... IP and MAC addresses ... are easy to be forged during the
+transmission of data packets on network or link layers if the underlying
+communication channel is not encrypted."
+
+While a session is active the compromised node acts *in the victim's
+name* on two channels:
+
+* **forged route errors** — control messages attributed to the victim
+  that tear down working routes (for AODV, RERRs that invalidate routes
+  through the victim; for DSR, RERRs reporting the victim's links as
+  broken).  The network reacts by re-discovering, so the route fabric
+  churns without the victim having done anything;
+* **forged data traffic** — data packets carrying the victim's address
+  as origin, injected toward random destinations, polluting any
+  per-identity accounting.
+
+Both channels distort the traffic attribution the network observes —
+the detection problem the paper's taxonomy highlights: "Pointing to an
+innocent individual as the culprit can be even worse than not finding
+any identity responsible at all."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.attacks.base import Attack, Interval
+from repro.simulation.packet import BROADCAST, Direction, Packet, PacketType
+
+
+class ImpersonationAttack(Attack):
+    """Forged-identity control and data traffic.
+
+    Parameters
+    ----------
+    attacker:
+        Compromised node id.
+    victim:
+        The impersonated node.
+    sessions:
+        Active intervals.
+    rate:
+        Forged messages per second while active (alternating between a
+        forged RERR and a forged data packet).
+    """
+
+    def __init__(
+        self,
+        attacker: int,
+        victim: int,
+        sessions: Sequence[Interval],
+        rate: float = 2.0,
+    ):
+        super().__init__(attacker, sessions)
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if victim == attacker:
+            raise ValueError("the attacker impersonates someone else")
+        self.victim = victim
+        self.rate = rate
+        self.forged_control = 0
+        self.forged_data = 0
+        self._epoch = 0
+        self._flip = False
+
+    def activate(self) -> None:
+        self._epoch += 1
+        self._tick(self._epoch)
+
+    def deactivate(self) -> None:
+        self._epoch += 1
+
+    # ------------------------------------------------------------------
+    def _tick(self, epoch: int) -> None:
+        if epoch != self._epoch or not self.active:
+            return
+        assert self.sim is not None and self.nodes is not None
+        if self._flip:
+            self._forge_rerr()
+        else:
+            self._forge_data()
+        self._flip = not self._flip
+        self.sim.schedule(1.0 / self.rate, self._tick, epoch)
+
+    def _forge_rerr(self) -> None:
+        """A route error in the victim's name, torn through the fabric."""
+        node = self.node
+        routing = node.routing
+        assert routing is not None and self.sim is not None
+        if routing.name == "aodv":
+            # "The victim can no longer reach these destinations": every
+            # other node is declared unreachable with a bumped sequence
+            # number, so receivers invalidate routes through the victim.
+            unreachable = [
+                (d, 1) for d in range(len(self.nodes or []))
+                if d not in (self.victim, self.attacker)
+            ][:8]
+            packet = Packet(
+                ptype=PacketType.RERR,
+                origin=self.victim,
+                dest=BROADCAST,
+                size=32,
+                ttl=1,
+                info={"unreachable": unreachable},
+            )
+            node.stats.log_packet(self.sim.now, PacketType.RERR, Direction.SENT)
+            node.broadcast(packet)
+        else:
+            # DSR: report one of the victim's links broken.  Source-routed
+            # RERRs need a path; a 1-hop broadcast reaches the neighbours,
+            # who purge every cached path using the link.
+            target = self.sim.rng.randrange(len(self.nodes or []))
+            packet = Packet(
+                ptype=PacketType.RERR,
+                origin=self.victim,
+                dest=BROADCAST,
+                size=32,
+                ttl=1,
+                info={
+                    "broken": (self.victim, target),
+                    "sr": [self.attacker, BROADCAST],
+                    "sr_index": 0,
+                },
+            )
+            node.stats.log_packet(self.sim.now, PacketType.RERR, Direction.SENT)
+            node.broadcast(packet)
+        self.forged_control += 1
+
+    def _forge_data(self) -> None:
+        """A data packet claiming the victim as its origin."""
+        node = self.node
+        assert node.routing is not None and self.sim is not None
+        dest = self.sim.rng.randrange(len(self.nodes or []))
+        if dest in (self.victim, self.attacker):
+            return
+        packet = Packet(
+            ptype=PacketType.DATA,
+            origin=self.victim,  # the forged identity
+            dest=dest,
+            size=512,
+        )
+        node.stats.log_packet(self.sim.now, PacketType.DATA, Direction.SENT)
+        node.routing.send_data(packet)
+        self.forged_data += 1

@@ -1,0 +1,162 @@
+"""Command-line interface: run scenarios and detection experiments.
+
+Usage examples::
+
+    # Simulate one scenario and print trace statistics
+    python -m repro simulate --protocol aodv --transport udp --duration 600
+
+    # Full detection experiment (train on normal, evaluate vs attacks)
+    python -m repro detect --protocol aodv --transport udp \
+        --classifier c45 --duration 1000
+
+    # The paper's §3 illustrative example (Tables 1-3)
+    python -m repro illustrate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--protocol", choices=["aodv", "dsr", "olsr"], default="aodv")
+    parser.add_argument("--transport", choices=["udp", "tcp"], default="udp")
+    parser.add_argument("--nodes", type=int, default=20)
+    parser.add_argument("--duration", type=float, default=1000.0)
+    parser.add_argument("--connections", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    """Run one scenario and print trace statistics."""
+    from repro.simulation.scenario import ScenarioConfig, run_scenario
+
+    config = ScenarioConfig(
+        protocol=args.protocol,
+        transport=args.transport,
+        n_nodes=args.nodes,
+        duration=args.duration,
+        max_connections=args.connections,
+        seed=args.seed,
+    )
+    print(f"simulating {args.protocol}/{args.transport}: "
+          f"{args.nodes} nodes, {args.duration:.0f}s ...")
+    trace = run_scenario(config)
+    print(f"data packets originated : {trace.data_originated}")
+    print(f"data packets delivered  : {trace.data_delivered}")
+    print(f"delivery ratio          : {trace.delivery_ratio():.3f}")
+    print(f"total trace events      : {trace.recorder.total_packets()}")
+    print(f"sampling windows        : {len(trace.tick_times)}")
+    return 0
+
+
+def cmd_detect(args: argparse.Namespace) -> int:
+    """Run a full detection experiment and print its metrics."""
+    from repro.eval.experiments import ExperimentPlan, run_detection_experiment, simulate_bundle
+
+    plan = ExperimentPlan(
+        protocol=args.protocol,
+        transport=args.transport,
+        n_nodes=args.nodes,
+        duration=args.duration,
+        max_connections=args.connections,
+        attack_kind=args.attack,
+    )
+    print(f"running detection experiment: {args.protocol}/{args.transport}, "
+          f"attack={args.attack}, classifier={args.classifier}")
+    print("simulating traces (train x2, calibration, normal evals, attack evals) ...")
+    bundle = simulate_bundle(plan)
+    print(f"training {args.classifier} sub-models ...")
+    result = run_detection_experiment(
+        bundle, classifier=args.classifier, method=args.method
+    )
+    recall, precision = result.recall_precision_at_threshold()
+    print(f"AUC above diagonal      : {result.auc:.3f}  (max 0.5)")
+    r, p, thr = result.optimal
+    print(f"optimal operating point : recall {r:.2f}, precision {p:.2f} "
+          f"(threshold {thr:.3f})")
+    print(f"at calibrated threshold : recall {recall:.2f}, precision {precision:.2f} "
+          f"(threshold {result.threshold:.3f})")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run all three classifiers on one condition and print the report."""
+    from repro.eval.experiments import ExperimentPlan
+    from repro.eval.report import scenario_report
+
+    plan = ExperimentPlan(
+        protocol=args.protocol,
+        transport=args.transport,
+        n_nodes=args.nodes,
+        duration=args.duration,
+        max_connections=args.connections,
+        attack_kind=args.attack,
+    )
+    print("simulating traces and training all classifiers "
+          "(this takes a few minutes) ...")
+    print(scenario_report(plan))
+    return 0
+
+
+def cmd_illustrate(args: argparse.Namespace) -> int:
+    """Print the paper's two-node worked example (Table 3)."""
+    from repro.core.illustrative import TwoNodeExample
+
+    example = TwoNodeExample()
+    print("Table 3 (two-node example): event, class, match count, probability")
+    for score in example.all_event_scores():
+        cls = "Normal  " if score.is_normal else "Abnormal"
+        print(f"  {score.event}  {cls}  {score.avg_match_count:.2f}  "
+              f"{score.avg_probability:.2f}")
+    errors = example.classify_all(0.5)
+    print(f"threshold 0.5: {errors}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cross-feature analysis for MANET routing anomaly detection "
+                    "(ICDCS 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="run one MANET scenario")
+    _add_scenario_args(p_sim)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_det = sub.add_parser("detect", help="run a full detection experiment")
+    _add_scenario_args(p_det)
+    p_det.add_argument("--classifier", choices=["c45", "ripper", "nbc"], default="c45")
+    p_det.add_argument(
+        "--method",
+        choices=["match_count", "avg_probability", "calibrated_probability"],
+        default="calibrated_probability",
+    )
+    p_det.add_argument("--attack", choices=["mixed", "blackhole", "dropping"],
+                       default="mixed")
+    p_det.set_defaults(func=cmd_detect)
+
+    p_rep = sub.add_parser("report", help="compare all classifiers on one condition")
+    _add_scenario_args(p_rep)
+    p_rep.add_argument("--attack", choices=["mixed", "blackhole", "dropping"],
+                       default="mixed")
+    p_rep.set_defaults(func=cmd_report)
+
+    p_ill = sub.add_parser("illustrate", help="print the paper's §3 example")
+    p_ill.set_defaults(func=cmd_illustrate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Cross-feature analysis — the paper's primary contribution.
+
+The framework transforms anomaly detection over a feature set
+``{f1 ... fL}`` into L classification sub-problems ``{f1 ... fL} \\ {fi}
+-> fi`` (Algorithm 1), scores events by how well the sub-models'
+predictions agree with the observed feature values — **average match
+count** (Algorithm 2) or **average probability** (Algorithm 3) — and flags
+an event as anomalous when the score drops below a decision threshold
+chosen from the score distribution on normal data.
+"""
+
+from repro.core.discretization import EqualFrequencyDiscretizer
+from repro.core.illustrative import (
+    IllustrativeClassifier,
+    TwoNodeExample,
+)
+from repro.core.model import CrossFeatureDetector, CrossFeatureModel
+from repro.core.reduction import correlation_reduce, factor_reduce, reduction_report
+from repro.core.regression import RegressionCrossFeatureModel
+from repro.core.scoring import average_match_count, average_probability
+from repro.core.threshold import select_threshold
+
+__all__ = [
+    "CrossFeatureDetector",
+    "CrossFeatureModel",
+    "EqualFrequencyDiscretizer",
+    "IllustrativeClassifier",
+    "RegressionCrossFeatureModel",
+    "TwoNodeExample",
+    "average_match_count",
+    "average_probability",
+    "correlation_reduce",
+    "factor_reduce",
+    "reduction_report",
+    "select_threshold",
+]

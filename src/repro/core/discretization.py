@@ -1,0 +1,122 @@
+"""Equal-frequency discretization (paper §4.1, "Feature Construction").
+
+Continuous features (and discrete features with infinite value spaces)
+cannot serve as class labels, so the paper discretizes them with a
+*frequency-bucket* scheme: the value space is split into a fixed number of
+ranges such that the occurrence frequencies in all buckets are equal; a
+pre-filtering pass over a small random subset of normal vectors retrieves
+the frequency distribution.  The paper uses 5 buckets.
+
+One deliberate refinement for degenerate columns: a feature that is
+*constant* in normal training data still gets a single cut just above the
+constant, so a value that rises under attack lands in a bucket never seen
+in training — the sub-model then assigns it probability zero, exactly the
+"never appears in normal data" semantics the framework wants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class EqualFrequencyDiscretizer:
+    """Per-column equal-frequency bucketing.
+
+    Parameters
+    ----------
+    n_buckets:
+        Number of buckets per feature (paper: 5).
+    prefilter_fraction:
+        If set, fit quantiles on a random subset of this fraction of the
+        rows — the paper's pre-filtering pass.
+    random_state:
+        Seed for the pre-filter subsample.
+    """
+
+    def __init__(
+        self,
+        n_buckets: int = 5,
+        prefilter_fraction: float | None = None,
+        random_state: int = 0,
+        out_of_range_bucket: bool = True,
+    ):
+        if n_buckets < 2:
+            raise ValueError("n_buckets must be >= 2")
+        if prefilter_fraction is not None and not 0 < prefilter_fraction <= 1:
+            raise ValueError("prefilter_fraction must be in (0, 1]")
+        self.n_buckets = n_buckets
+        self.prefilter_fraction = prefilter_fraction
+        self.random_state = random_state
+        self.out_of_range_bucket = out_of_range_bucket
+        self.edges_: list[np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray) -> "EqualFrequencyDiscretizer":
+        """Learn bucket boundaries from (normal) training data."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be 2-D")
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if self.prefilter_fraction is not None and len(X) > 10:
+            rng = np.random.default_rng(self.random_state)
+            n_sample = max(int(len(X) * self.prefilter_fraction), 10)
+            X = X[rng.choice(len(X), size=min(n_sample, len(X)), replace=False)]
+        qs = np.arange(1, self.n_buckets) / self.n_buckets
+        self.edges_ = []
+        for j in range(X.shape[1]):
+            col = X[:, j]
+            uniq = np.unique(col)
+            if len(uniq) == 1:
+                # Constant column: one cut just above the constant so an
+                # unseen-under-attack value separates out.
+                edges = np.array([np.nextafter(uniq[0], np.inf)])
+            else:
+                edges = np.unique(np.quantile(col, qs))
+                # Drop degenerate edges equal to the column minimum (they
+                # would create an empty first bucket).
+                edges = edges[edges > uniq[0]]
+                if len(edges) == 0:
+                    # Heavily skewed column (most mass at the minimum):
+                    # cut between the minimum and the next distinct value.
+                    edges = np.array([(uniq[0] + uniq[1]) / 2.0])
+                if self.out_of_range_bucket:
+                    # Values beyond anything normal data produced form
+                    # their own bucket: sub-models never saw it as a
+                    # label, so it carries probability zero — the
+                    # "never appears in normal data" semantics of §3.
+                    # Without this, an attack burst 10x above the normal
+                    # maximum is indistinguishable from an ordinary busy
+                    # window saturating the top equal-frequency bucket.
+                    top = np.nextafter(uniq[-1], np.inf)
+                    if top > edges[-1]:
+                        edges = np.append(edges, top)
+            self.edges_.append(edges)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Map values to bucket codes (0-based integers)."""
+        if self.edges_ is None:
+            raise RuntimeError("discretizer is not fitted")
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != len(self.edges_):
+            raise ValueError(
+                f"X has {X.shape[1] if X.ndim == 2 else '?'} columns, "
+                f"expected {len(self.edges_)}"
+            )
+        codes = np.empty(X.shape, dtype=np.int64)
+        for j, edges in enumerate(self.edges_):
+            # Bucket j holds values in (edges[j-1], edges[j]]; values above
+            # the last edge land in the top bucket.
+            codes[:, j] = np.searchsorted(edges, X[:, j], side="left")
+        return codes
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit on ``X`` and return its bucket codes."""
+        return self.fit(X).transform(X)
+
+    def n_values(self) -> np.ndarray:
+        """Bucket count per column (``len(edges) + 1``)."""
+        if self.edges_ is None:
+            raise RuntimeError("discretizer is not fitted")
+        return np.array([len(e) + 1 for e in self.edges_], dtype=np.int64)

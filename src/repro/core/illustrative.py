@@ -1,0 +1,169 @@
+"""The paper's §3 illustrative example: a two-node ad-hoc network.
+
+Three binary features describe the toy network — *Is the other node
+reachable?*, *Was any packet delivered in the last 5 seconds?*, *Was any
+packet cached for delivery in the last 5 seconds?* — and Table 1
+enumerates the complete set of normal events.  The paper walks through an
+"illustrative classifier" whose sub-models are shown in Table 2 and whose
+average-match-count / average-probability outputs over all eight possible
+events are Table 3, demonstrating that with threshold 0.5 Algorithm 3
+separates perfectly while Algorithm 2 raises one false alarm on
+``{False, False, False}``.
+
+This module reproduces all three tables programmatically, using the exact
+classifier the paper describes:
+
+* one class seen for a combination of the other features -> predict it
+  with probability 1.0;
+* both classes seen -> predict True with probability 0.5;
+* combination never seen -> predict the label appearing more often in the
+  other rules, with probability 0.5.
+
+The probability for the *true* class is the predicted class's probability
+when it matches, else one minus it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.core.scoring import average_match_count, average_probability
+
+FEATURE_NAMES = ["Reachable?", "Delivered?", "Cached?"]
+
+#: Table 1 — the complete set of normal events.
+NORMAL_EVENTS: tuple[tuple[bool, bool, bool], ...] = (
+    (True, True, True),
+    (True, False, False),
+    (False, False, True),
+    (False, False, False),
+)
+
+
+@dataclass(frozen=True)
+class SubModelRule:
+    """One row of a Table 2 sub-model: others' values -> (prediction, prob)."""
+
+    others: tuple[bool, ...]
+    predicted: bool
+    probability: float
+
+
+class IllustrativeClassifier:
+    """The example classifier described in §3 (see module docstring)."""
+
+    def __init__(self, target: int, events: tuple[tuple[bool, ...], ...] = NORMAL_EVENTS):
+        if not 0 <= target < len(events[0]):
+            raise ValueError(f"target {target} out of range")
+        self.target = target
+        n_features = len(events[0])
+        other_idx = [j for j in range(n_features) if j != target]
+
+        seen: dict[tuple[bool, ...], set[bool]] = {}
+        for event in events:
+            key = tuple(event[j] for j in other_idx)
+            seen.setdefault(key, set()).add(event[target])
+
+        # Rules for seen combinations.
+        self._rules: dict[tuple[bool, ...], tuple[bool, float]] = {}
+        for key, classes in seen.items():
+            if len(classes) == 1:
+                self._rules[key] = (next(iter(classes)), 1.0)
+            else:
+                self._rules[key] = (True, 0.5)
+
+        # Default for unseen combinations: the label appearing more often
+        # in the other rules (ties resolved to True).
+        n_true = sum(1 for pred, _ in self._rules.values() if pred)
+        n_false = len(self._rules) - n_true
+        self._default = (n_true >= n_false, 0.5)
+        self._other_idx = other_idx
+
+    def predict_with_probability(self, event: tuple[bool, ...]) -> tuple[bool, float]:
+        """(predicted class, probability of the predicted class)."""
+        key = tuple(event[j] for j in self._other_idx)
+        return self._rules.get(key, self._default)
+
+    def probability_of_true_class(self, event: tuple[bool, ...]) -> float:
+        """Predicted prob when the prediction matches, else one minus it."""
+        predicted, prob = self.predict_with_probability(event)
+        return prob if predicted == event[self.target] else 1.0 - prob
+
+    def matches(self, event: tuple[bool, ...]) -> bool:
+        """Whether the prediction equals the event's true feature value."""
+        predicted, _ = self.predict_with_probability(event)
+        return predicted == event[self.target]
+
+    def rules(self) -> list[SubModelRule]:
+        """The sub-model as Table 2 rows (seen combinations only)."""
+        return [
+            SubModelRule(others=key, predicted=pred, probability=prob)
+            for key, (pred, prob) in sorted(self._rules.items(), reverse=True)
+        ]
+
+
+@dataclass
+class EventScore:
+    """One row of Table 3."""
+
+    event: tuple[bool, bool, bool]
+    is_normal: bool
+    avg_match_count: float
+    avg_probability: float
+
+
+class TwoNodeExample:
+    """The complete §3 worked example: builds Tables 1-3."""
+
+    def __init__(self) -> None:
+        self.classifiers = [IllustrativeClassifier(i) for i in range(3)]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def normal_events() -> list[tuple[bool, bool, bool]]:
+        """Table 1."""
+        return list(NORMAL_EVENTS)
+
+    def sub_model_rules(self, target: int) -> list[SubModelRule]:
+        """Table 2(a/b/c) for the given labelled feature."""
+        return self.classifiers[target].rules()
+
+    def score_event(self, event: tuple[bool, bool, bool]) -> EventScore:
+        """One Table 3 row: both algorithms' scores for one event."""
+        matches = np.array([[c.matches(event) for c in self.classifiers]], dtype=float)
+        probs = np.array([[c.probability_of_true_class(event) for c in self.classifiers]])
+        return EventScore(
+            event=event,
+            is_normal=event in NORMAL_EVENTS,
+            avg_match_count=float(average_match_count(matches)[0]),
+            avg_probability=float(average_probability(probs)[0]),
+        )
+
+    def all_event_scores(self) -> list[EventScore]:
+        """Table 3 — all eight possible events, normal ones first."""
+        events = list(NORMAL_EVENTS) + [
+            e for e in product([True, False], repeat=3) if e not in NORMAL_EVENTS
+        ]
+        return [self.score_event(e) for e in events]
+
+    def classify_all(self, threshold: float = 0.5) -> dict[str, int]:
+        """Confusion summary of both algorithms at the given threshold.
+
+        Returns counts of errors: Algorithm 2 (match count) and
+        Algorithm 3 (average probability) false alarms / misses.
+        """
+        errors = {"alg2_false_alarms": 0, "alg2_misses": 0,
+                  "alg3_false_alarms": 0, "alg3_misses": 0}
+        for score in self.all_event_scores():
+            alg2_anomaly = score.avg_match_count < threshold
+            alg3_anomaly = score.avg_probability < threshold
+            if score.is_normal:
+                errors["alg2_false_alarms"] += alg2_anomaly
+                errors["alg3_false_alarms"] += alg3_anomaly
+            else:
+                errors["alg2_misses"] += not alg2_anomaly
+                errors["alg3_misses"] += not alg3_anomaly
+        return errors

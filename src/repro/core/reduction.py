@@ -1,0 +1,123 @@
+"""Model/feature reduction (paper §6 future work).
+
+"We are developing technologies to reduce computational cost, where
+fewer number of models are involved in the combination process and each
+model could be simplified with a reduced feature set.  We are currently
+studying approaches based on both correlation analysis and factor
+analysis."
+
+Two reducers over *normal* training data, both returning column indices
+to pass to :class:`~repro.core.model.CrossFeatureModel` as
+``feature_subset``:
+
+* :func:`correlation_reduce` — greedy de-duplication: walk the features
+  in a stable order and drop any feature whose absolute Pearson
+  correlation with an already-kept feature exceeds a threshold.  Highly
+  redundant features (e.g. the same count at overlapping windows) add
+  sub-models without adding information.
+* :func:`factor_reduce` — factor-analysis-flavoured selection: compute
+  the principal components of the standardized normal data and keep, for
+  each of the leading factors, the feature with the largest absolute
+  loading.  The kept set spans the main modes of normal variation with
+  one representative feature per mode.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def _validate(X: np.ndarray) -> np.ndarray:
+    X = np.asarray(X, dtype=float)
+    if X.ndim != 2:
+        raise ValueError("X must be 2-D")
+    if len(X) < 3:
+        raise ValueError("need at least 3 rows to estimate correlations")
+    return X
+
+
+def correlation_reduce(
+    X_normal: np.ndarray,
+    threshold: float = 0.95,
+) -> list[int]:
+    """Indices of features surviving correlation de-duplication.
+
+    Constant features are kept (they are cheap and highly informative as
+    never-seen-bucket detectors); among correlated groups the
+    lowest-index member survives, making the result deterministic.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    X = _validate(X_normal)
+    n, d = X.shape
+    std = X.std(axis=0)
+    variable = std > 0
+    Z = np.zeros_like(X)
+    Z[:, variable] = (X[:, variable] - X[:, variable].mean(axis=0)) / std[variable]
+    corr = (Z.T @ Z) / n
+
+    kept: list[int] = []
+    for j in range(d):
+        if not variable[j]:
+            kept.append(j)  # constant: keep as an escape-bucket detector
+            continue
+        redundant = any(
+            variable[k] and abs(corr[j, k]) >= threshold for k in kept
+        )
+        if not redundant:
+            kept.append(j)
+    return kept
+
+
+def factor_reduce(
+    X_normal: np.ndarray,
+    n_features: int,
+) -> list[int]:
+    """Indices of one representative feature per leading factor.
+
+    Runs PCA on the standardized normal data and, for each of the top
+    components in turn, selects the not-yet-chosen feature with the
+    largest absolute loading, until ``n_features`` are chosen (cycling
+    through components again if there are fewer components than requested
+    features).
+    """
+    X = _validate(X_normal)
+    d = X.shape[1]
+    if not 1 <= n_features <= d:
+        raise ValueError(f"n_features must be in [1, {d}]")
+    std = X.std(axis=0)
+    std_safe = np.where(std > 0, std, 1.0)
+    Z = (X - X.mean(axis=0)) / std_safe
+    # SVD of the standardized data: rows of Vt are component loadings.
+    _, singular, Vt = np.linalg.svd(Z, full_matrices=False)
+    order = np.argsort(singular)[::-1]
+    loadings = np.abs(Vt[order])
+
+    chosen: list[int] = []
+    component = 0
+    while len(chosen) < n_features:
+        row = loadings[component % len(loadings)].copy()
+        row[chosen] = -1.0  # already chosen
+        candidate = int(np.argmax(row))
+        if row[candidate] < 0:
+            break  # every feature chosen
+        chosen.append(candidate)
+        component += 1
+    return sorted(chosen)
+
+
+def reduction_report(
+    X_normal: np.ndarray,
+    feature_names: Sequence[str],
+    threshold: float = 0.95,
+) -> dict:
+    """Summary of how far correlation analysis can shrink the model set."""
+    kept = correlation_reduce(X_normal, threshold)
+    return {
+        "n_original": int(np.asarray(X_normal).shape[1]),
+        "n_kept": len(kept),
+        "kept_names": [feature_names[j] for j in kept],
+        "reduction": 1.0 - len(kept) / np.asarray(X_normal).shape[1],
+    }

@@ -1,0 +1,44 @@
+"""Scoring rules: average match count and average probability.
+
+These are the aggregation steps of Algorithms 2 and 3.  They are exposed
+as pure functions over per-sub-model outputs so the illustrative example
+(§3, Tables 1-3), the full detector and the tests all share one
+implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def average_match_count(matches: np.ndarray) -> np.ndarray:
+    """Algorithm 2's aggregation.
+
+    ``matches[i, m]`` is 1 when sub-model ``m``'s prediction equals the
+    true value of its labelled feature on event ``i``.  Returns the
+    per-event fraction of matching sub-models, normalised into [0, 1].
+    """
+    matches = np.asarray(matches, dtype=float)
+    if matches.ndim != 2:
+        raise ValueError("matches must be 2-D (events x sub-models)")
+    if matches.shape[1] == 0:
+        raise ValueError("need at least one sub-model")
+    return matches.mean(axis=1)
+
+
+def average_probability(probabilities: np.ndarray) -> np.ndarray:
+    """Algorithm 3's aggregation.
+
+    ``probabilities[i, m]`` is the probability sub-model ``m`` assigns to
+    the *true* value of its labelled feature on event ``i``.  Returns the
+    per-event mean.  Algorithm 2 is the special case where each
+    probability is exactly 0 or 1.
+    """
+    probabilities = np.asarray(probabilities, dtype=float)
+    if probabilities.ndim != 2:
+        raise ValueError("probabilities must be 2-D (events x sub-models)")
+    if probabilities.shape[1] == 0:
+        raise ValueError("need at least one sub-model")
+    if (probabilities < -1e-9).any() or (probabilities > 1 + 1e-9).any():
+        raise ValueError("probabilities must lie in [0, 1]")
+    return probabilities.mean(axis=1)

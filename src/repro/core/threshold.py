@@ -1,0 +1,33 @@
+"""Decision-threshold selection.
+
+The paper: "We can determine the threshold by computing average match
+count values on all normal events, and using a lower bound of output
+values with certain confidence level (which is one minus false alarm
+rate)."  An event is classified anomalous iff its score is *below* the
+threshold, so the threshold is the ``false_alarm_rate`` quantile of the
+normal-score distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def select_threshold(normal_scores: np.ndarray, false_alarm_rate: float = 0.01) -> float:
+    """Threshold such that ~``false_alarm_rate`` of normal scores fall below.
+
+    Parameters
+    ----------
+    normal_scores:
+        Scores (average match count or average probability) of events
+        known to be normal — typically a held-out normal trace.
+    false_alarm_rate:
+        Allowed fraction of normal events flagged as anomalies; the
+        confidence level of the lower bound is ``1 - false_alarm_rate``.
+    """
+    normal_scores = np.asarray(normal_scores, dtype=float)
+    if normal_scores.size == 0:
+        raise ValueError("need at least one normal score")
+    if not 0.0 <= false_alarm_rate <= 1.0:
+        raise ValueError("false_alarm_rate must be in [0, 1]")
+    return float(np.quantile(normal_scores, false_alarm_rate))

@@ -1,0 +1,11 @@
+"""Synthetic datasets for exercising cross-feature analysis beyond MANET.
+
+The paper's §6 reports "initial experiments using credit card fraud
+detection have revealed promising results" — :mod:`repro.datasets.fraud`
+provides a synthetic stand-in for that (proprietary) data so the
+generality claim can be exercised end to end.
+"""
+
+from repro.datasets.fraud import FraudDataset, generate_fraud_dataset
+
+__all__ = ["FraudDataset", "generate_fraud_dataset"]

@@ -1,0 +1,110 @@
+"""Recall-precision analysis (paper §4.2).
+
+With *I* the intrusions and *A* the alarms, recall is ``p(A|I)`` and
+precision ``p(I|A)``.  Operating points are obtained by sweeping the
+decision threshold over the score range: an event is an alarm iff its
+normality score falls *below* the threshold.  The 45-degree diagonal of
+the recall-precision plot is the random-guess reference, and the paper
+quantifies a curve by the area between it and that diagonal; the "optimal
+point" is the operating point closest to perfect (1, 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class PrCurve:
+    """A recall-precision curve from a threshold sweep.
+
+    ``recalls[k]`` / ``precisions[k]`` is the operating point at
+    ``thresholds[k]`` (alarm iff score < threshold).
+    """
+
+    thresholds: np.ndarray
+    recalls: np.ndarray
+    precisions: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.thresholds)
+
+
+def precision_recall_curve(scores: np.ndarray, labels: np.ndarray) -> PrCurve:
+    """Sweep thresholds over normality scores.
+
+    Parameters
+    ----------
+    scores:
+        Normality scores (higher = more normal).
+    labels:
+        Ground truth, True = intrusion.
+
+    Points with zero alarms are skipped (precision undefined there).
+    """
+    scores = np.asarray(scores, dtype=float)
+    labels = np.asarray(labels, dtype=bool)
+    if scores.shape != labels.shape or scores.ndim != 1:
+        raise ValueError("scores and labels must be matching 1-D arrays")
+    n_intrusions = int(labels.sum())
+    if n_intrusions == 0:
+        raise ValueError("need at least one intrusion to measure recall")
+    if n_intrusions == len(labels):
+        raise ValueError("need at least one normal event to measure precision")
+
+    # Sort ascending by score; sweeping the threshold over distinct score
+    # values admits every achievable operating point.
+    order = np.argsort(scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_intrusion = labels[order].astype(float)
+    # alarms(θ) = #events with score < θ; take θ just above each distinct score.
+    cum_intrusions = np.cumsum(sorted_intrusion)
+    positions = np.arange(1, len(scores) + 1, dtype=float)
+    # Keep only the last index of each run of equal scores.
+    distinct = np.flatnonzero(np.diff(sorted_scores, append=np.inf) > 0)
+    alarms = positions[distinct]
+    caught = cum_intrusions[distinct]
+    # The point "everything with score <= s is an alarm" corresponds to a
+    # threshold just above s under the strict alarm rule (score < t).
+    thresholds = np.nextafter(sorted_scores[distinct], np.inf)
+    recalls = caught / n_intrusions
+    precisions = caught / alarms
+    return PrCurve(thresholds=thresholds, recalls=recalls, precisions=precisions)
+
+
+def area_above_diagonal(curve: PrCurve) -> float:
+    """Area between the recall-precision curve and the random-guess diagonal.
+
+    The curve is integrated over recall with trapezoids (anchored at
+    recall 0 with the first precision and extended to recall 1 with the
+    last), and the diagonal's area (0.5) is subtracted.  Positive values
+    mean better than random; the maximum is 0.5.
+    """
+    r = np.concatenate(([0.0], curve.recalls, [1.0]))
+    p = np.concatenate(([curve.precisions[0]], curve.precisions, [curve.precisions[-1]]))
+    auc = float(np.trapezoid(p, r))
+    return auc - 0.5
+
+
+def optimal_point(curve: PrCurve) -> tuple[float, float, float]:
+    """The paper's simplified criterion: the operating point with the
+    closest Euclidean distance to (1, 1).
+
+    Returns ``(recall, precision, threshold)``.
+    """
+    d2 = (1.0 - curve.recalls) ** 2 + (1.0 - curve.precisions) ** 2
+    k = int(np.argmin(d2))
+    return float(curve.recalls[k]), float(curve.precisions[k]), float(curve.thresholds[k])
+
+
+def recall_precision_at(scores: np.ndarray, labels: np.ndarray, threshold: float) -> tuple[float, float]:
+    """Recall and precision at one fixed threshold (alarm iff score < t)."""
+    scores = np.asarray(scores, dtype=float)
+    labels = np.asarray(labels, dtype=bool)
+    alarms = scores < threshold
+    n_intrusions = int(labels.sum())
+    recall = float((alarms & labels).sum() / n_intrusions) if n_intrusions else 0.0
+    precision = float((alarms & labels).sum() / alarms.sum()) if alarms.any() else 0.0
+    return recall, precision

@@ -1,0 +1,67 @@
+"""Textual experiment reports — the paper's result tables as plain text.
+
+Formats :class:`~repro.eval.experiments.DetectionResult` objects into the
+report style used throughout the benchmarks (and by ``python -m repro
+report``): one row per classifier with AUC, optimal operating point and
+the calibrated-threshold operating point.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.eval.experiments import (
+    DetectionResult,
+    ExperimentPlan,
+    cached_bundle,
+    run_detection_experiment,
+)
+
+_HEADER = f"{'classifier':12s} {'AUC':>7s} {'optimal (r, p)':>16s} {'@threshold (r, p)':>19s}"
+
+
+def format_result_row(name: str, result: DetectionResult) -> str:
+    """One report line for one classifier's result."""
+    r_opt, p_opt, _ = result.optimal
+    r_thr, p_thr = result.recall_precision_at_threshold()
+    return (
+        f"{name:12s} {result.auc:7.3f}   ({r_opt:4.2f}, {p_opt:4.2f})"
+        f"      ({r_thr:4.2f}, {p_thr:4.2f})"
+    )
+
+
+def format_detection_report(
+    results: Mapping[str, DetectionResult],
+    title: str = "",
+) -> str:
+    """A full report block over several classifiers' results."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * max(len(title), len(_HEADER)))
+    lines.append(_HEADER)
+    for name, result in results.items():
+        lines.append(format_result_row(name, result))
+    return "\n".join(lines)
+
+
+def scenario_report(
+    plan: ExperimentPlan,
+    classifiers: Sequence[str] = ("c45", "ripper", "nbc"),
+    method: str = "calibrated_probability",
+) -> str:
+    """Run the detection experiment for each classifier and format it.
+
+    Simulations are shared across classifiers via the plan cache, so the
+    added cost per classifier is sub-model training only.
+    """
+    bundle = cached_bundle(plan)
+    results = {
+        name: run_detection_experiment(bundle, classifier=name, method=method)
+        for name in classifiers
+    }
+    title = (
+        f"{plan.protocol.upper()}/{plan.transport.upper()}  "
+        f"({plan.n_nodes} nodes, {plan.duration:.0f}s, attack={plan.attack_kind})"
+    )
+    return format_detection_report(results, title=title)

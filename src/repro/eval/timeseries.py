@@ -1,0 +1,57 @@
+"""Score-vs-time curves (Figures 3 and 5).
+
+The paper plots the average-probability output over simulation time for
+normal and abnormal traces, averaging multiple traces of the same test
+condition into one curve: normal traces stay almost flat, abnormal traces
+oscillate and stay depressed after the first intrusion session — the
+"failing to completely self-heal" observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ScoreSeries:
+    """One averaged curve: score per window end time."""
+
+    times: np.ndarray
+    scores: np.ndarray
+
+    def mean_in(self, start: float, end: float) -> float:
+        """Mean score over windows ending inside ``[start, end)``."""
+        mask = (self.times >= start) & (self.times < end)
+        if not mask.any():
+            raise ValueError(f"no windows in [{start}, {end})")
+        return float(self.scores[mask].mean())
+
+
+def averaged_score_series(
+    times: np.ndarray, score_runs: list[np.ndarray]
+) -> ScoreSeries:
+    """Average several runs of the same test condition into one curve.
+
+    All runs must share the window grid ``times`` (the paper averages the
+    outcomes of multiple traces per condition).
+    """
+    times = np.asarray(times, dtype=float)
+    if not score_runs:
+        raise ValueError("need at least one run")
+    stacked = np.vstack([np.asarray(s, dtype=float) for s in score_runs])
+    if stacked.shape[1] != len(times):
+        raise ValueError("score runs must align with the time grid")
+    return ScoreSeries(times=times, scores=stacked.mean(axis=0))
+
+
+def smoothed(series: ScoreSeries, window: int = 5) -> ScoreSeries:
+    """Moving-average smoothing for readability (plot cosmetics only)."""
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    kernel = np.ones(window) / window
+    pad = window // 2
+    padded = np.pad(series.scores, pad, mode="edge")
+    smooth = np.convolve(padded, kernel, mode="valid")[: len(series.scores)]
+    return ScoreSeries(times=series.times, scores=smooth)

@@ -1,0 +1,36 @@
+"""Feature construction (paper §4.1, Tables 4 and 5).
+
+* **Feature Set I** (:mod:`repro.features.topology`) — topology and route
+  fabric features sampled every 5 s: absolute velocity, the five route
+  event counts, total route change and average route length.
+* **Feature Set II** (:mod:`repro.features.traffic`) — the traffic feature
+  grid ``<packet type, flow direction, sampling period, statistics
+  measure>``: (6 types x 4 directions - 2 excluded) x 3 periods x
+  2 measures = 132 features.
+* :mod:`repro.features.extraction` assembles both sets into a
+  :class:`~repro.features.extraction.FeatureDataset` from a simulation
+  trace, including the ground-truth intrusion labels per sampling window.
+"""
+
+from repro.features.extraction import FeatureDataset, extract_features
+from repro.features.io import load_dataset, save_dataset
+from repro.features.topology import TOPOLOGY_FEATURE_NAMES, topology_features
+from repro.features.traffic import (
+    DEFAULT_SAMPLING_PERIODS,
+    TrafficFeatureSpec,
+    traffic_feature_grid,
+    traffic_features,
+)
+
+__all__ = [
+    "DEFAULT_SAMPLING_PERIODS",
+    "FeatureDataset",
+    "TOPOLOGY_FEATURE_NAMES",
+    "TrafficFeatureSpec",
+    "extract_features",
+    "load_dataset",
+    "save_dataset",
+    "topology_features",
+    "traffic_feature_grid",
+    "traffic_features",
+]

@@ -1,0 +1,49 @@
+"""Dataset persistence: save/load extracted feature datasets as ``.npz``.
+
+Simulation is the expensive step of the pipeline; persisting the
+extracted :class:`~repro.features.extraction.FeatureDataset` lets
+training/evaluation runs be repeated (or shared) without re-simulating.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.features.extraction import FeatureDataset
+
+
+def save_dataset(dataset: FeatureDataset, path: str | Path) -> Path:
+    """Write a feature dataset to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    np.savez_compressed(
+        path,
+        X=dataset.X,
+        times=dataset.times,
+        labels=dataset.labels,
+        feature_names=np.asarray(dataset.feature_names, dtype=object),
+        monitor=np.asarray([dataset.monitor]),
+    )
+    return path
+
+
+def load_dataset(path: str | Path) -> FeatureDataset:
+    """Read a feature dataset written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    with np.load(path, allow_pickle=True) as data:
+        required = {"X", "times", "labels", "feature_names", "monitor"}
+        missing = required - set(data.files)
+        if missing:
+            raise ValueError(f"{path} is not a feature dataset (missing {sorted(missing)})")
+        return FeatureDataset(
+            X=data["X"],
+            times=data["times"],
+            labels=data["labels"].astype(bool),
+            feature_names=[str(n) for n in data["feature_names"]],
+            monitor=int(data["monitor"][0]),
+        )

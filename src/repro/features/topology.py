@@ -1,0 +1,115 @@
+"""Feature Set I: topology and route related features (paper Table 4).
+
+Sampled per 5 s logging window at the monitor node:
+
+=====================  =====================================================
+feature                meaning ("Notes" column of Table 4)
+=====================  =====================================================
+absolute velocity      the node's scalar speed from the mobility trace
+route add count        routes newly added by route discovery
+route removal count    stale routes being removed
+route find count       routes found in cache, no re-discovery needed
+route notice count     routes noticed (eavesdropped) from somewhere else
+route repair count     broken routes currently under repair
+total route change     route adds + removals in the window
+average route length   mean hop count of routes used in the window
+=====================  =====================================================
+
+The paper's ``time`` column is carried separately by the dataset ("ignored
+in classification, only used for reference").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.stats import NodeStats, RouteEventKind
+
+TOPOLOGY_FEATURE_NAMES = [
+    "absolute_velocity",
+    "route_add_count",
+    "route_removal_count",
+    "route_find_count",
+    "route_notice_count",
+    "route_repair_count",
+    "total_route_change",
+    "average_route_length",
+]
+
+_EVENT_ORDER = [
+    RouteEventKind.ADD,
+    RouteEventKind.REMOVAL,
+    RouteEventKind.FIND,
+    RouteEventKind.NOTICE,
+    RouteEventKind.REPAIR,
+]
+
+
+def _window_counts(times: np.ndarray, ticks: np.ndarray, period: float) -> np.ndarray:
+    lo = np.searchsorted(times, ticks - period, side="right")
+    hi = np.searchsorted(times, ticks, side="right")
+    return (hi - lo).astype(float)
+
+
+def topology_features(
+    stats: NodeStats,
+    tick_times: np.ndarray,
+    speeds: np.ndarray,
+    period: float = 5.0,
+) -> tuple[np.ndarray, list[str]]:
+    """Compute the Feature Set I matrix for one monitor node.
+
+    Parameters
+    ----------
+    stats:
+        The monitor node's trace log.
+    tick_times:
+        Window end times (every ``period`` seconds).
+    speeds:
+        The monitor node's speed at each tick (from the mobility trace).
+    period:
+        Logging window length — the paper's 5 s.
+
+    Returns ``(X, names)`` with one column per Table 4 feature (the time
+    column excluded).
+    """
+    ticks = np.asarray(tick_times, dtype=float)
+    speeds = np.asarray(speeds, dtype=float)
+    if speeds.shape != ticks.shape:
+        raise ValueError(f"speeds {speeds.shape} must match ticks {ticks.shape}")
+
+    columns = [speeds]
+    event_counts = {}
+    for kind in _EVENT_ORDER:
+        times = np.asarray(stats.route_times[int(kind)], dtype=float)
+        event_counts[kind] = _window_counts(times, ticks, period)
+        columns.append(event_counts[kind])
+    columns.append(event_counts[RouteEventKind.ADD] + event_counts[RouteEventKind.REMOVAL])
+
+    # Average route length: mean hop count over the routes used inside each
+    # window; windows with no route use carry the previous value forward
+    # (the route fabric persists between uses), starting at 0.
+    samples = stats.route_length_samples
+    if samples:
+        sample_times = np.asarray([t for t, _ in samples], dtype=float)
+        sample_hops = np.asarray([h for _, h in samples], dtype=float)
+        prefix = np.concatenate(([0.0], np.cumsum(sample_hops)))
+        lo = np.searchsorted(sample_times, ticks - period, side="right")
+        hi = np.searchsorted(sample_times, ticks, side="right")
+        counts = hi - lo
+        avg = np.zeros(len(ticks))
+        with np.errstate(invalid="ignore"):
+            present = counts > 0
+            avg[present] = (prefix[hi[present]] - prefix[lo[present]]) / counts[present]
+        # Carry-forward for empty windows.
+        last = 0.0
+        for k in range(len(avg)):
+            if counts[k] > 0:
+                last = avg[k]
+            else:
+                avg[k] = last
+    else:
+        avg = np.zeros(len(ticks))
+    columns.append(avg)
+
+    return np.column_stack(columns), list(TOPOLOGY_FEATURE_NAMES)

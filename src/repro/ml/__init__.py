@@ -1,0 +1,38 @@
+"""From-scratch categorical classifiers: C4.5, RIPPER and naive Bayes.
+
+These are the three inductive learners the paper evaluates as sub-model
+engines (§3, §4.2).  All operate on integer-encoded categorical data (the
+output of the equal-frequency discretizer) and expose calibrated
+``predict_proba`` — the probability of the true class is the quantity
+Algorithm 3's *average probability* aggregates:
+
+* **C4.5** — gain-ratio decision tree with pessimistic error pruning;
+  leaf probability ``p(class | x) = n_i / n`` (Laplace-smoothed).
+* **RIPPER** — IREP*-style grow/prune rule induction (FOIL gain growth,
+  reduced-error pruning), ordered rule list; probabilities from covered
+  training-example class counts.
+* **NaiveBayes** — the §3 formulation: ``n(l|x) = p(l) prod_j p(a_j|l)``
+  normalised across classes, with Laplace smoothing.
+"""
+
+from repro.ml.base import CategoricalClassifier, check_categorical
+from repro.ml.decision_tree import C45Classifier
+from repro.ml.naive_bayes import NaiveBayesClassifier
+from repro.ml.ripper import RipperClassifier, Rule
+
+CLASSIFIERS = {
+    "c45": C45Classifier,
+    "ripper": RipperClassifier,
+    "nbc": NaiveBayesClassifier,
+}
+"""Name -> class map used by the evaluation harness ('c45', 'ripper', 'nbc')."""
+
+__all__ = [
+    "C45Classifier",
+    "CLASSIFIERS",
+    "CategoricalClassifier",
+    "NaiveBayesClassifier",
+    "RipperClassifier",
+    "Rule",
+    "check_categorical",
+]

@@ -1,0 +1,75 @@
+"""Classifier base API for integer-encoded categorical data."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+def check_categorical(X: np.ndarray, y: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray | None]:
+    """Validate and canonicalize categorical inputs.
+
+    ``X`` must be a 2-D array of non-negative integers; ``y`` (if given) a
+    1-D array of non-negative integers with matching length.
+    """
+    X = np.asarray(X)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if not np.issubdtype(X.dtype, np.integer):
+        if not np.allclose(X, np.round(X)):
+            raise ValueError("X must contain integer category codes")
+        X = X.astype(np.int64)
+    else:
+        X = X.astype(np.int64)
+    if (X < 0).any():
+        raise ValueError("category codes must be non-negative")
+    if y is None:
+        return X, None
+    y = np.asarray(y)
+    if y.ndim != 1 or len(y) != len(X):
+        raise ValueError(f"y shape {y.shape} incompatible with X {X.shape}")
+    y = y.astype(np.int64)
+    if (y < 0).any():
+        raise ValueError("class codes must be non-negative")
+    return X, y
+
+
+class CategoricalClassifier(ABC):
+    """A classifier over integer-coded categorical attributes.
+
+    The contract mirrors what cross-feature analysis needs from a
+    sub-model: fit on normal vectors, then report a full class-probability
+    distribution per test vector so Algorithm 3 can read off the
+    probability of the *true* class.
+    """
+
+    def __init__(self) -> None:
+        self.n_classes_: int | None = None
+        self.n_values_: np.ndarray | None = None
+
+    @abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "CategoricalClassifier":
+        """Train on category-coded attributes ``X`` and labels ``y``."""
+
+    @abstractmethod
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability matrix of shape ``(len(X), n_classes)``."""
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most probable class per row."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    # ------------------------------------------------------------------
+    def _setup_fit(self, X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Shared fit-time bookkeeping: value cardinalities and class count."""
+        X, y = check_categorical(X, y)
+        if len(X) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.n_values_ = X.max(axis=0) + 1 if X.shape[1] else np.zeros(0, dtype=np.int64)
+        self.n_classes_ = int(y.max()) + 1
+        return X, y
+
+    def _check_fitted(self) -> None:
+        if self.n_classes_ is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted")

@@ -1,0 +1,25 @@
+"""MANET routing protocols: AODV and DSR, as studied by the paper.
+
+Both protocols are implemented from scratch at the granularity the paper's
+features observe: on-demand route discovery (RREQ/RREP floods), route
+maintenance on link failure (RERR, repair/salvage), table/cache hits, and —
+for DSR — promiscuous route learning.  Every route-fabric change is logged
+through :class:`repro.simulation.stats.NodeStats` using the five event kinds
+of Feature Set I.
+"""
+
+from repro.routing.aodv import AODV_MAX_SEQ, AodvProtocol, AodvRouteEntry
+from repro.routing.base import PacketBuffer, RoutingProtocol
+from repro.routing.dsr import DsrProtocol, RouteCache
+from repro.routing.olsr import OlsrProtocol
+
+__all__ = [
+    "AODV_MAX_SEQ",
+    "AodvProtocol",
+    "AodvRouteEntry",
+    "DsrProtocol",
+    "OlsrProtocol",
+    "PacketBuffer",
+    "RouteCache",
+    "RoutingProtocol",
+]

@@ -1,0 +1,490 @@
+"""Ad-hoc On-demand Distance Vector routing (AODV).
+
+A from-scratch implementation of the protocol as the paper uses it
+(Perkins & Royer 1999, as implemented in ns-2):
+
+* per-destination route table entries ``(next hop, hop count, destination
+  sequence number, lifetime)``;
+* reactive route discovery — RREQ floods answered by RREPs from the
+  destination or from intermediate nodes holding a fresh-enough route;
+* route maintenance — HELLO-based neighbor liveness, RERR propagation and
+  local repair on link failure;
+* freshness ordering by destination sequence number, then hop count.
+
+The sequence-number ordering is exactly what the paper's black-hole script
+abuses: a forged advertisement carrying the maximum sequence number wins
+against every legitimate route and — as the paper observes — is never
+displaced afterwards.  :meth:`AodvProtocol.forge_route_advert` builds that
+forged RREQ; only the attack modules call it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.routing.base import PacketBuffer, RoutingProtocol
+from repro.simulation.node import Node
+from repro.simulation.packet import BROADCAST, Direction, Packet, PacketType
+from repro.simulation.stats import RouteEventKind
+
+AODV_MAX_SEQ = 2**32 - 1
+"""Maximum destination sequence number — the black-hole attack's weapon."""
+
+
+@dataclass
+class AodvRouteEntry:
+    """One row of the AODV route table."""
+
+    dest: int
+    next_hop: int
+    hops: int
+    seq: int
+    expires: float
+    valid: bool = True
+
+    def fresher_than(self, seq: int, hops: int) -> bool:
+        """RFC 3561 §6.2 ordering: higher seq wins, then lower hop count.
+
+        Sequence comparison applies even to invalidated entries — a node
+        must never accept stale routing information.  This destination-
+        sequence memory is the mechanism the black-hole attack turns into
+        permanent damage: a poisoned maximum sequence number rejects every
+        legitimate update forever (the paper's §4.2 observation that the
+        network "never rectifies" after the attack).
+        """
+        if self.seq != seq:
+            return self.seq > seq
+        if not self.valid:
+            return False
+        return self.hops <= hops
+
+
+class AodvProtocol(RoutingProtocol):
+    """AODV routing agent for one node."""
+
+    name = "aodv"
+
+    def __init__(
+        self,
+        node: Node,
+        hello_interval: float = 1.0,
+        allowed_hello_loss: int = 3,
+        active_route_timeout: float = 10.0,
+        rreq_timeout: float = 1.0,
+        rreq_retries: int = 2,
+        net_ttl: int = 16,
+        purge_interval: float = 1.0,
+    ):
+        super().__init__(node)
+        self.hello_interval = hello_interval
+        self.allowed_hello_loss = allowed_hello_loss
+        self.active_route_timeout = active_route_timeout
+        self.rreq_timeout = rreq_timeout
+        self.rreq_retries = rreq_retries
+        self.net_ttl = net_ttl
+        self.purge_interval = purge_interval
+
+        self.table: dict[int, AodvRouteEntry] = {}
+        #: Destination-sequence memory that outlives purged table entries
+        #: (ns-2 behaviour; see :meth:`AodvRouteEntry.fresher_than`).
+        self._seq_memory: dict[int, int] = {}
+        self.seq = 0
+        self.rreq_id = 0
+        self._forged_rreq_id = 1 << 20  # distinct id space for forged adverts
+        self._seen_rreqs: dict[tuple[int, int], float] = {}
+        self._buffer = PacketBuffer()
+        self._pending: dict[int, int] = {}  # dest -> retries used
+        self._last_heard: dict[int, float] = {}
+
+        # Periodic machinery: jittered starts avoid network-wide phase lock.
+        self.sim.schedule(self.sim.rng.uniform(0, hello_interval), self._hello_tick)
+        self.sim.schedule(self.sim.rng.uniform(0, purge_interval), self._purge_tick)
+
+    # ------------------------------------------------------------------
+    # Route table
+    # ------------------------------------------------------------------
+    def _update_route(self, dest: int, next_hop: int, hops: int, seq: int) -> bool:
+        """Install a route if it is fresher than what the table holds.
+
+        Returns True when the table changed; a genuinely *new* (or revived)
+        route is logged as a route-add event for Feature Set I.
+        """
+        if dest == self.node_id:
+            return False
+        now = self.sim.now
+        expires = now + self.active_route_timeout
+        entry = self.table.get(dest)
+        if entry is not None and entry.fresher_than(seq, hops):
+            if entry.valid:
+                entry.expires = max(entry.expires, expires)
+            return False
+        if self._seq_memory.get(dest, -1) > seq:
+            return False  # stale information: a purged entry knew better
+        was_valid = entry is not None and entry.valid
+        self.table[dest] = AodvRouteEntry(dest, next_hop, hops, seq, expires)
+        self._seq_memory[dest] = max(self._seq_memory.get(dest, -1), seq)
+        if not was_valid:
+            self.log_route_event(RouteEventKind.ADD)
+        return True
+
+    def _valid_route(self, dest: int) -> AodvRouteEntry | None:
+        entry = self.table.get(dest)
+        if entry is not None and entry.valid and entry.expires > self.sim.now:
+            return entry
+        return None
+
+    def _invalidate(self, entry: AodvRouteEntry) -> None:
+        if entry.valid:
+            entry.valid = False
+            entry.seq += 1  # RFC: increment on invalidation
+            self._seq_memory[entry.dest] = max(
+                self._seq_memory.get(entry.dest, -1), entry.seq
+            )
+            self.log_route_event(RouteEventKind.REMOVAL)
+
+    def _refresh(self, dest: int) -> None:
+        entry = self.table.get(dest)
+        if entry is not None and entry.valid:
+            entry.expires = max(entry.expires, self.sim.now + self.active_route_timeout)
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def send_data(self, packet: Packet) -> None:
+        if packet.dest == self.node_id:
+            self.node.deliver(packet)
+            return
+        entry = self._valid_route(packet.dest)
+        if entry is not None:
+            self.log_route_event(RouteEventKind.FIND)
+            self._transmit_data(packet, entry)
+            return
+        evicted = self._buffer.add(packet.dest, packet)
+        if evicted is not None:
+            self.log_drop(evicted)
+        if packet.dest not in self._pending:
+            self._start_discovery(packet.dest)
+
+    def _transmit_data(self, packet: Packet, entry: AodvRouteEntry) -> None:
+        self.log_route_length(entry.hops)
+        self._refresh(entry.dest)
+        if not self.node.unicast(packet, entry.next_hop, self._on_data_link_fail):
+            self.log_drop(packet)  # interface-queue overflow
+
+    def _handle_data(self, packet: Packet, from_id: int) -> None:
+        if self.node.should_drop(packet):
+            return  # malicious silent drop — no trace at the attacker
+        if packet.dest == self.node_id:
+            self.node.deliver(packet)
+            return
+        packet.ttl -= 1
+        packet.hops += 1
+        if packet.ttl <= 0:
+            self.log_drop(packet)
+            return
+        entry = self._valid_route(packet.dest)
+        if entry is None:
+            self.log_drop(packet)
+            self._send_rerr([packet.dest])
+            return
+        self.log_packet(PacketType.DATA, Direction.FORWARDED)
+        self._refresh(packet.origin)
+        self._transmit_data(packet, entry)
+
+    # ------------------------------------------------------------------
+    # Route discovery
+    # ------------------------------------------------------------------
+    def _start_discovery(self, dest: int, retries_used: int = 0) -> None:
+        self._pending[dest] = retries_used
+        self.seq += 1
+        self.rreq_id += 1
+        entry = self.table.get(dest)
+        # Request at least the remembered sequence number so the
+        # destination catches its own counter up (RFC 3561 §6.6.1) and its
+        # reply is not rejected as stale by our own sequence memory.
+        known_seq = max(
+            entry.seq if entry is not None else 0,
+            self._seq_memory.get(dest, 0),
+        )
+        packet = Packet(
+            ptype=PacketType.RREQ,
+            origin=self.node_id,
+            dest=BROADCAST,
+            size=48,
+            ttl=self.net_ttl,
+            info={
+                "rreq_id": self.rreq_id,
+                "origin_seq": self.seq,
+                "target": dest,
+                "target_seq": known_seq,
+            },
+        )
+        self._seen_rreqs[(self.node_id, self.rreq_id)] = self.sim.now
+        self.log_packet(PacketType.RREQ, Direction.SENT)
+        self.node.broadcast(packet)
+        self.sim.schedule(self.rreq_timeout, self._discovery_timeout, dest, retries_used)
+
+    def _discovery_timeout(self, dest: int, retries_used: int) -> None:
+        if dest not in self._pending or self._pending[dest] != retries_used:
+            return  # discovery already completed or superseded
+        if self._valid_route(dest) is not None:
+            self._discovery_succeeded(dest)
+            return
+        if retries_used < self.rreq_retries:
+            self._start_discovery(dest, retries_used + 1)
+            return
+        del self._pending[dest]
+        for packet in self._buffer.pop_all(dest):
+            self.log_drop(packet)
+        # Discovery (or local repair) ultimately failed: tell the
+        # neighbourhood the destination is unreachable (RFC 3561 §6.12).
+        self._send_rerr([dest])
+
+    def _discovery_succeeded(self, dest: int) -> None:
+        self._pending.pop(dest, None)
+        entry = self._valid_route(dest)
+        for packet in self._buffer.pop_all(dest):
+            if entry is not None:
+                self._transmit_data(packet, entry)
+            else:  # route vanished between checks
+                self.log_drop(packet)
+
+    def _handle_rreq(self, packet: Packet, from_id: int) -> None:
+        self.log_packet(PacketType.RREQ, Direction.RECEIVED)
+        info = packet.info
+        origin, rreq_id = packet.origin, info["rreq_id"]
+        # Reverse route toward the originator (possibly forged — the table
+        # cannot tell, which is exactly the black hole's lever).
+        self._update_route(origin, from_id, packet.hops + 1, info["origin_seq"])
+        if (origin, rreq_id) in self._seen_rreqs:
+            return
+        self._seen_rreqs[(origin, rreq_id)] = self.sim.now
+
+        if origin == self.node_id:
+            return  # our own request echoed back (or forged in our name)
+
+        target = info["target"]
+        if target == self.node_id:
+            # RFC 3561 §6.6.1: increment own sequence number only when the
+            # request asks for exactly own+1 — never jump to an arbitrary
+            # requested value.  This is why a forged maximum sequence
+            # number is never "caught up to" and the poisoning persists.
+            if info["target_seq"] == self.seq + 1:
+                self.seq += 1
+            self._send_rrep(origin, target, dest_seq=self.seq, dest_hops=0)
+            return
+        entry = self._valid_route(target)
+        if (
+            not info.get("destination_only", False)
+            and entry is not None
+            and entry.seq >= info["target_seq"]
+        ):
+            # Intermediate reply from the route table — a cache hit.
+            self.log_route_event(RouteEventKind.FIND)
+            self._send_rrep(origin, target, dest_seq=entry.seq, dest_hops=entry.hops)
+            return
+        if packet.ttl <= 1:
+            return
+        relay = packet.copy()
+        relay.ttl -= 1
+        relay.hops += 1
+        self.log_packet(PacketType.RREQ, Direction.FORWARDED)
+        self.node.broadcast(relay)
+
+    def _send_rrep(self, origin: int, target: int, dest_seq: int, dest_hops: int) -> None:
+        reverse = self._valid_route(origin)
+        if reverse is None:
+            return  # reverse path already gone; originator will retry
+        packet = Packet(
+            ptype=PacketType.RREP,
+            origin=self.node_id,
+            dest=origin,
+            size=44,
+            ttl=self.net_ttl,
+            info={"target": target, "dest_seq": dest_seq, "hop_count": dest_hops},
+        )
+        self.log_packet(PacketType.RREP, Direction.SENT)
+        self.node.unicast(packet, reverse.next_hop, self._on_control_link_fail)
+
+    def _handle_rrep(self, packet: Packet, from_id: int) -> None:
+        info = packet.info
+        info["hop_count"] += 1
+        self._update_route(info["target"], from_id, info["hop_count"], info["dest_seq"])
+        if packet.dest == self.node_id:
+            self.log_packet(PacketType.RREP, Direction.RECEIVED)
+            if info["target"] in self._pending:
+                self._discovery_succeeded(info["target"])
+            return
+        reverse = self._valid_route(packet.dest)
+        if reverse is None:
+            self.log_drop(packet)
+            return
+        self.log_packet(PacketType.RREP, Direction.FORWARDED)
+        self.node.unicast(packet, reverse.next_hop, self._on_control_link_fail)
+
+    # ------------------------------------------------------------------
+    # Route maintenance
+    # ------------------------------------------------------------------
+    def _on_data_link_fail(self, packet: Packet, next_hop: int) -> None:
+        """A data transmission to ``next_hop`` got no MAC acknowledgement."""
+        broken = self._break_link(next_hop)
+        if packet.dest == self.node_id:
+            return
+        # Local repair: hold the packet and re-discover its destination.
+        self.log_route_event(RouteEventKind.REPAIR)
+        evicted = self._buffer.add(packet.dest, packet)
+        if evicted is not None:
+            self.log_drop(evicted)
+        if packet.dest not in self._pending:
+            self._start_discovery(packet.dest)
+        others = [d for d in broken if d != packet.dest]
+        if others:
+            self._send_rerr(others)
+
+    def _on_control_link_fail(self, packet: Packet, next_hop: int) -> None:
+        self._break_link(next_hop)
+        self.log_drop(packet)
+
+    def _break_link(self, next_hop: int) -> list[int]:
+        """Invalidate every route using ``next_hop``; return their dests."""
+        broken = []
+        for entry in self.table.values():
+            if entry.valid and entry.next_hop == next_hop:
+                self._invalidate(entry)
+                broken.append(entry.dest)
+        self._last_heard.pop(next_hop, None)
+        return broken
+
+    def _send_rerr(self, dests: list[int]) -> None:
+        unreachable = []
+        for dest in dests:
+            entry = self.table.get(dest)
+            unreachable.append((dest, entry.seq if entry is not None else 0))
+        packet = Packet(
+            ptype=PacketType.RERR,
+            origin=self.node_id,
+            dest=BROADCAST,
+            size=32,
+            ttl=1,
+            info={"unreachable": unreachable},
+        )
+        self.log_packet(PacketType.RERR, Direction.SENT)
+        self.node.broadcast(packet)
+
+    def _handle_rerr(self, packet: Packet, from_id: int) -> None:
+        self.log_packet(PacketType.RERR, Direction.RECEIVED)
+        # Routes are invalidated when their next hop is the node
+        # *announcing* the error — the packet's origin, i.e. its network-
+        # layer source.  For honest RERRs that is also the link-layer
+        # sender; the distinction is exactly what identity impersonation
+        # forges (§2.3: addresses "are easy to be forged ... if the
+        # underlying communication channel is not encrypted").
+        announcer = packet.origin
+        invalidated = []
+        for dest, seq in packet.info["unreachable"]:
+            entry = self.table.get(dest)
+            if entry is not None and entry.valid and entry.next_hop == announcer:
+                self._invalidate(entry)
+                invalidated.append((dest, entry.seq))
+        if invalidated:
+            relay = packet.copy()
+            relay.origin = self.node_id  # propagation is re-originated
+            relay.info["unreachable"] = invalidated
+            self.log_packet(PacketType.RERR, Direction.FORWARDED)
+            self.node.broadcast(relay)
+
+    # ------------------------------------------------------------------
+    # HELLO / periodic machinery
+    # ------------------------------------------------------------------
+    def _hello_tick(self) -> None:
+        now = self.sim.now
+        if any(e.valid for e in self.table.values()):
+            packet = Packet(
+                ptype=PacketType.HELLO,
+                origin=self.node_id,
+                dest=BROADCAST,
+                size=32,
+                ttl=1,
+                info={"seq": self.seq},
+            )
+            self.log_packet(PacketType.HELLO, Direction.SENT)
+            self.node.broadcast(packet)
+        # Neighbor liveness: silence beyond the allowance breaks the link.
+        deadline = now - self.allowed_hello_loss * self.hello_interval
+        for neighbor, last in list(self._last_heard.items()):
+            if last < deadline:
+                broken = self._break_link(neighbor)
+                if broken:
+                    self._send_rerr(broken)
+        self.sim.schedule(self.hello_interval, self._hello_tick)
+
+    def _handle_hello(self, packet: Packet, from_id: int) -> None:
+        self.log_packet(PacketType.HELLO, Direction.RECEIVED)
+        self._update_route(from_id, from_id, 1, packet.info["seq"])
+
+    def _purge_tick(self) -> None:
+        now = self.sim.now
+        for entry in list(self.table.values()):
+            if entry.valid and entry.expires <= now:
+                self._invalidate(entry)
+            elif not entry.valid and entry.expires <= now - 3 * self.active_route_timeout:
+                del self.table[entry.dest]
+        if len(self._seen_rreqs) > 512:
+            horizon = now - 30.0
+            self._seen_rreqs = {k: t for k, t in self._seen_rreqs.items() if t >= horizon}
+        self.sim.schedule(self.purge_interval, self._purge_tick)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def handle_packet(self, packet: Packet, from_id: int) -> None:
+        self._last_heard[from_id] = self.sim.now
+        if packet.ptype == PacketType.DATA:
+            self._handle_data(packet, from_id)
+        elif packet.ptype == PacketType.RREQ:
+            self._handle_rreq(packet, from_id)
+        elif packet.ptype == PacketType.RREP:
+            self._handle_rrep(packet, from_id)
+        elif packet.ptype == PacketType.RERR:
+            self._handle_rerr(packet, from_id)
+        elif packet.ptype == PacketType.HELLO:
+            self._handle_hello(packet, from_id)
+
+    # ------------------------------------------------------------------
+    # Attack surface (called only by repro.attacks)
+    # ------------------------------------------------------------------
+    def forge_route_advert(self, victim: int) -> Packet:
+        """Build the black-hole forged RREQ of §4.1 / Table 6.
+
+        The bogus request names ``victim`` as both source and target,
+        carries the maximum allowed sequence number and claims this node is
+        the victim's immediate neighbor (``hops=1``).  Every node processing
+        it installs a maximum-freshness reverse route to ``victim`` through
+        the attacker — a route no legitimate update can ever displace.
+
+        The *requested* sequence number is also the maximum, so no
+        intermediate node can answer from its table and suppress the
+        rebroadcast: the forged request floods the whole network, exactly
+        the flooding overhead (and network-wide poisoning) the paper
+        describes.
+        """
+        self._forged_rreq_id += 1
+        return Packet(
+            ptype=PacketType.RREQ,
+            origin=victim,
+            dest=BROADCAST,
+            size=48,
+            ttl=self.net_ttl,
+            hops=1,
+            info={
+                "rreq_id": self._forged_rreq_id,
+                "origin_seq": AODV_MAX_SEQ,
+                "target": victim,
+                "target_seq": AODV_MAX_SEQ,
+                # RFC 3561 'D' flag: only the destination may answer.  For
+                # the attacker this guarantees the forged request floods
+                # the whole network instead of being answered (and
+                # suppressed) one hop away by freshly poisoned tables.
+                "destination_only": True,
+            },
+        )

@@ -1,0 +1,108 @@
+"""Shared routing-protocol machinery.
+
+:class:`RoutingProtocol` defines the contract the :class:`~repro.simulation.
+node.Node` expects, plus the trace-logging helpers both AODV and DSR use so
+that route-fabric events land in the stats streams consumed by Feature Set I.
+
+:class:`PacketBuffer` is the send buffer both protocols use to hold data
+packets while a route discovery for their destination is in flight.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+
+from repro.simulation.node import Node
+from repro.simulation.packet import Direction, Packet, PacketType
+from repro.simulation.stats import RouteEventKind
+
+
+class PacketBuffer:
+    """Bounded per-destination buffer for packets awaiting a route.
+
+    Overflow evicts the oldest packet for that destination (returned to the
+    caller so it can be logged as dropped).
+    """
+
+    def __init__(self, max_per_dest: int = 64):
+        self.max_per_dest = max_per_dest
+        self._buffers: OrderedDict[int, list[Packet]] = OrderedDict()
+
+    def add(self, dest: int, packet: Packet) -> Packet | None:
+        """Buffer a packet; return the evicted packet on overflow, else None."""
+        queue = self._buffers.setdefault(dest, [])
+        queue.append(packet)
+        if len(queue) > self.max_per_dest:
+            return queue.pop(0)
+        return None
+
+    def pop_all(self, dest: int) -> list[Packet]:
+        """Remove and return all packets buffered for ``dest``."""
+        return self._buffers.pop(dest, [])
+
+    def pending(self, dest: int) -> int:
+        """Number of packets currently buffered for ``dest``."""
+        return len(self._buffers.get(dest, []))
+
+    def destinations(self) -> list[int]:
+        """Destinations that currently have buffered packets."""
+        return list(self._buffers.keys())
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._buffers.values())
+
+
+class RoutingProtocol(ABC):
+    """Base class for MANET routing protocols.
+
+    Subclasses implement :meth:`send_data` (originate or locally deliver a
+    data packet) and :meth:`handle_packet` (process a packet arriving from
+    the medium).  :meth:`handle_overhear` is optional and only meaningful
+    for protocols that learn from promiscuous traffic (DSR).
+    """
+
+    name: str = "base"
+
+    def __init__(self, node: Node):
+        self.node = node
+        self.sim = node.sim
+        self.stats = node.stats
+        node.set_routing(self)
+
+    # ------------------------------------------------------------------
+    # Contract
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def send_data(self, packet: Packet) -> None:
+        """Originate a data packet from this node (or deliver to self)."""
+
+    @abstractmethod
+    def handle_packet(self, packet: Packet, from_id: int) -> None:
+        """Process a packet received from neighbor ``from_id``."""
+
+    def handle_overhear(self, packet: Packet, from_id: int) -> None:
+        """Process a promiscuously overheard packet (default: ignore)."""
+
+    # ------------------------------------------------------------------
+    # Trace-logging helpers
+    # ------------------------------------------------------------------
+    def log_packet(self, ptype: PacketType, direction: Direction) -> None:
+        """Record a packet event in this node's trace."""
+        self.stats.log_packet(self.sim.now, ptype, direction)
+
+    def log_route_event(self, kind: RouteEventKind) -> None:
+        """Record a route-fabric event in this node's trace."""
+        self.stats.log_route_event(self.sim.now, kind)
+
+    def log_route_length(self, hops: int) -> None:
+        """Record the hop count of a route being used for data."""
+        self.stats.log_route_length(self.sim.now, hops)
+
+    def log_drop(self, packet: Packet) -> None:
+        """Log a packet discarded at this node."""
+        self.log_packet(packet.ptype, Direction.DROPPED)
+
+    @property
+    def node_id(self) -> int:
+        return self.node.node_id

@@ -1,0 +1,34 @@
+"""Discrete-event MANET simulation substrate.
+
+This subpackage is the reproduction's substitute for ns-2: a from-scratch
+discrete-event simulator with random-waypoint mobility, a unit-disc wireless
+medium with transmission serialization, per-node protocol stacks and trace
+logging.  The cross-feature detection models only consume the trace
+statistics produced here (route events and per-direction packet streams), so
+the simulator's job is to generate those streams with realistic inter-feature
+correlations under the paper's scenario parameters.
+"""
+
+from repro.simulation.engine import Event, Simulator
+from repro.simulation.medium import WirelessMedium
+from repro.simulation.mobility import RandomWaypointMobility
+from repro.simulation.node import Node
+from repro.simulation.packet import Direction, Packet, PacketType
+from repro.simulation.scenario import ScenarioConfig, SimulationTrace, run_scenario
+from repro.simulation.stats import NodeStats, TraceRecorder
+
+__all__ = [
+    "Direction",
+    "Event",
+    "Node",
+    "NodeStats",
+    "Packet",
+    "PacketType",
+    "RandomWaypointMobility",
+    "ScenarioConfig",
+    "SimulationTrace",
+    "Simulator",
+    "TraceRecorder",
+    "WirelessMedium",
+    "run_scenario",
+]

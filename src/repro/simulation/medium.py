@@ -1,0 +1,208 @@
+"""Shared wireless medium: unit-disc connectivity, serialization, loss.
+
+The model is deliberately simple — the paper's detector consumes traffic
+*statistics*, not radio physics — but keeps the properties that shape those
+statistics:
+
+* **unit-disc connectivity** — nodes hear each other iff within
+  ``tx_range`` metres (ns-2's default 250 m two-ray-ground range);
+* **transmission serialization** — each node owns a half-duplex transmitter;
+  back-to-back sends queue behind each other and overflow drops occur under
+  congestion (this is what makes an update-storm attack visible);
+* **per-delivery jitter** — a small random delay de-synchronizes broadcast
+  storms, standing in for CSMA backoff;
+* **link failure detection** — a failed unicast (receiver out of range or a
+  random loss on every retry) invokes the sender's failure callback after a
+  retry delay, standing in for missing 802.11 ACKs.  This is what triggers
+  route maintenance in AODV and DSR;
+* **promiscuous overhearing** — nodes in range of a unicast they are not
+  party to can tap it, which DSR's route-cache eavesdropping (the paper's
+  *route notice count* feature) relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Callable
+
+from repro.simulation.engine import Simulator
+from repro.simulation.mobility import RandomWaypointMobility
+from repro.simulation.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simulation.node import Node
+
+FailureCallback = Callable[[Packet, int], None]
+
+
+class WirelessMedium:
+    """The shared radio channel connecting all nodes.
+
+    Parameters
+    ----------
+    sim, mobility:
+        The event kernel and the mobility model giving node positions.
+    tx_range:
+        Transmission/interference radius in metres.
+    bandwidth_bps:
+        Link rate used to serialize transmissions (2 Mb/s, the classic
+        802.11 figure used in the ns-2 MANET studies).
+    mac_overhead:
+        Fixed per-transmission time covering MAC framing and backoff.
+    loss_rate:
+        Independent per-delivery loss probability.
+    max_queue_delay:
+        A transmission that would have to wait longer than this in the
+        interface queue is dropped (congestion drop).
+    retry_delay:
+        Time after which a failed unicast is reported to the sender.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        mobility: RandomWaypointMobility,
+        tx_range: float = 250.0,
+        bandwidth_bps: float = 2e6,
+        mac_overhead: float = 0.0008,
+        loss_rate: float = 0.0,
+        max_queue_delay: float = 0.5,
+        retry_delay: float = 0.05,
+    ):
+        self.sim = sim
+        self.mobility = mobility
+        self.tx_range = tx_range
+        self.bandwidth_bps = bandwidth_bps
+        self.mac_overhead = mac_overhead
+        self.loss_rate = loss_rate
+        self.max_queue_delay = max_queue_delay
+        self.retry_delay = retry_delay
+        self.nodes: list["Node"] = []
+        self._busy_until: list[float] = []
+        # Counters for tests / diagnostics.
+        self.congestion_drops = 0
+        self.delivered = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, node: "Node") -> None:
+        """Register a node; ids must be attached in order 0..n-1."""
+        if node.node_id != len(self.nodes):
+            raise ValueError(
+                f"nodes must be attached in id order: got {node.node_id}, "
+                f"expected {len(self.nodes)}"
+            )
+        self.nodes.append(node)
+        self._busy_until.append(0.0)
+
+    def in_range(self, a: int, b: int) -> bool:
+        """Whether nodes ``a`` and ``b`` can currently hear each other."""
+        return self.mobility.distance(a, b, self.sim.now) <= self.tx_range
+
+    def neighbors(self, node_id: int) -> list[int]:
+        """Ids of all nodes currently within range of ``node_id``."""
+        t = self.sim.now
+        x, y = self.mobility.position(node_id, t)
+        result = []
+        for other in range(len(self.nodes)):
+            if other == node_id:
+                continue
+            ox, oy = self.mobility.position(other, t)
+            if math.hypot(ox - x, oy - y) <= self.tx_range:
+                result.append(other)
+        return result
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def _tx_time(self, packet: Packet) -> float:
+        return packet.size * 8.0 / self.bandwidth_bps + self.mac_overhead
+
+    def _acquire_transmitter(self, sender: int, packet: Packet) -> float | None:
+        """Reserve the sender's transmitter; return the airtime start.
+
+        Returns ``None`` (congestion drop) when the interface queue is too
+        long.
+        """
+        now = self.sim.now
+        start = max(now, self._busy_until[sender])
+        if start - now > self.max_queue_delay:
+            self.congestion_drops += 1
+            return None
+        self._busy_until[sender] = start + self._tx_time(packet)
+        return start
+
+    def broadcast(self, sender: int, packet: Packet) -> bool:
+        """Transmit to every node currently in range.
+
+        Returns False if the transmission was dropped at the interface
+        queue.  Individual receivers may still miss the packet through
+        ``loss_rate``.
+        """
+        start = self._acquire_transmitter(sender, packet)
+        if start is None:
+            return False
+        arrival = start + self._tx_time(packet)
+        self.sim.schedule_at(arrival, self._deliver_broadcast, sender, packet)
+        return True
+
+    def _deliver_broadcast(self, sender: int, packet: Packet) -> None:
+        rng = self.sim.rng
+        for receiver in self.neighbors(sender):
+            if self.loss_rate and rng.random() < self.loss_rate:
+                continue
+            jitter = rng.uniform(0.0, 0.002)
+            self.sim.schedule(jitter, self._hand_to_node, receiver, packet, sender)
+
+    def unicast(
+        self,
+        sender: int,
+        packet: Packet,
+        next_hop: int,
+        on_fail: FailureCallback | None = None,
+    ) -> bool:
+        """Transmit to one specific neighbor with link-failure feedback.
+
+        If the receiver is out of range at delivery time (or the delivery
+        is lost), ``on_fail(packet, next_hop)`` fires after ``retry_delay``
+        — the MAC-feedback signal AODV and DSR route maintenance rely on.
+
+        Returns False on an interface-queue drop (``on_fail`` is *not*
+        invoked in that case; the caller already knows).
+        """
+        start = self._acquire_transmitter(sender, packet)
+        if start is None:
+            return False
+        arrival = start + self._tx_time(packet)
+        self.sim.schedule_at(arrival, self._deliver_unicast, sender, packet, next_hop, on_fail)
+        return True
+
+    def _deliver_unicast(
+        self,
+        sender: int,
+        packet: Packet,
+        next_hop: int,
+        on_fail: FailureCallback | None,
+    ) -> None:
+        rng = self.sim.rng
+        ok = (
+            0 <= next_hop < len(self.nodes)
+            and self.in_range(sender, next_hop)
+            and not (self.loss_rate and rng.random() < self.loss_rate)
+        )
+        if ok:
+            self.sim.schedule(rng.uniform(0.0, 0.001), self._hand_to_node, next_hop, packet, sender)
+            # Promiscuous taps: bystanders in range overhear the exchange.
+            for bystander in self.neighbors(sender):
+                if bystander == next_hop:
+                    continue
+                node = self.nodes[bystander]
+                if node.promiscuous:
+                    self.sim.schedule(
+                        rng.uniform(0.0, 0.001), node.on_overhear, packet, sender
+                    )
+        elif on_fail is not None:
+            self.sim.schedule(self.retry_delay, on_fail, packet, next_hop)
+
+    def _hand_to_node(self, receiver: int, packet: Packet, sender: int) -> None:
+        self.delivered += 1
+        self.nodes[receiver].on_receive(packet, sender)

@@ -1,0 +1,146 @@
+"""Random-waypoint mobility model.
+
+The paper's scenarios use ns-2's ``setdest`` random way-point model on a
+1000 m x 1000 m field with a 10 s pause time and a 20 m/s maximum speed.
+This module reproduces that model with *lazy* position evaluation: each node
+keeps its current leg (origin, destination, speed, departure time) and is
+advanced on demand, so the mobility model adds no events to the simulator
+heap no matter how often positions are queried.
+
+``speed()`` exposes the node's current scalar velocity — the paper's
+*absolute velocity* feature (Feature Set I, Table 4) reads it at every
+sampling tick.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class _NodeMotion:
+    """Per-node motion state: one leg of travel plus the pause after it."""
+
+    __slots__ = ("x0", "y0", "x1", "y1", "speed", "depart", "arrive", "pause_until")
+
+    def __init__(self, x: float, y: float, now: float):
+        self.x0 = x
+        self.y0 = y
+        self.x1 = x
+        self.y1 = y
+        self.speed = 0.0
+        self.depart = now
+        self.arrive = now
+        self.pause_until = now
+
+
+class RandomWaypointMobility:
+    """Random-waypoint mobility for a set of nodes.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of nodes placed uniformly at random in the field.
+    area:
+        Field dimensions in metres, ``(width, height)``.
+    max_speed / min_speed:
+        Speeds for each leg are drawn uniformly from ``[min_speed,
+        max_speed]``.  ``min_speed`` is kept strictly positive (as in
+        ``setdest``) so legs always terminate.
+    pause_time:
+        Pause at each waypoint before choosing the next one.
+    rng:
+        Random source; pass the simulator's ``rng`` for reproducibility.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int,
+        area: tuple[float, float] = (1000.0, 1000.0),
+        max_speed: float = 20.0,
+        min_speed: float = 0.5,
+        pause_time: float = 10.0,
+        rng: random.Random | None = None,
+    ):
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        if min_speed <= 0 or max_speed < min_speed:
+            raise ValueError("require 0 < min_speed <= max_speed")
+        self.n_nodes = n_nodes
+        self.area = area
+        self.max_speed = max_speed
+        self.min_speed = min_speed
+        self.pause_time = pause_time
+        self._rng = rng if rng is not None else random.Random(0)
+        self._motion = [
+            _NodeMotion(self._rng.uniform(0, area[0]), self._rng.uniform(0, area[1]), 0.0)
+            for _ in range(n_nodes)
+        ]
+
+    # ------------------------------------------------------------------
+    def _advance(self, node_id: int, t: float) -> _NodeMotion:
+        """Advance a node's motion state up to time ``t`` (lazy stepping)."""
+        m = self._motion[node_id]
+        while t >= m.pause_until:
+            # The node has finished its pause at (x1, y1): start a new leg.
+            m.x0, m.y0 = m.x1, m.y1
+            m.x1 = self._rng.uniform(0, self.area[0])
+            m.y1 = self._rng.uniform(0, self.area[1])
+            m.speed = self._rng.uniform(self.min_speed, self.max_speed)
+            m.depart = m.pause_until
+            dist = math.hypot(m.x1 - m.x0, m.y1 - m.y0)
+            m.arrive = m.depart + dist / m.speed
+            m.pause_until = m.arrive + self.pause_time
+        return m
+
+    def position(self, node_id: int, t: float) -> tuple[float, float]:
+        """Position of ``node_id`` at simulation time ``t``."""
+        m = self._advance(node_id, t)
+        if t >= m.arrive:
+            return (m.x1, m.y1)
+        if m.arrive == m.depart:
+            return (m.x1, m.y1)
+        frac = (t - m.depart) / (m.arrive - m.depart)
+        return (m.x0 + frac * (m.x1 - m.x0), m.y0 + frac * (m.y1 - m.y0))
+
+    def speed(self, node_id: int, t: float) -> float:
+        """Current scalar speed: the leg speed while moving, 0 while paused."""
+        m = self._advance(node_id, t)
+        if t >= m.arrive:
+            return 0.0
+        return m.speed
+
+    def distance(self, a: int, b: int, t: float) -> float:
+        """Euclidean distance between two nodes at time ``t``."""
+        xa, ya = self.position(a, t)
+        xb, yb = self.position(b, t)
+        return math.hypot(xb - xa, yb - ya)
+
+
+class StaticMobility(RandomWaypointMobility):
+    """Fixed node placement — useful for deterministic unit tests.
+
+    Nodes never move; ``speed()`` is always zero.
+    """
+
+    def __init__(self, positions: list[tuple[float, float]]):
+        if not positions:
+            raise ValueError("positions must be non-empty")
+        self.n_nodes = len(positions)
+        width = max(x for x, _ in positions) + 1.0
+        height = max(y for _, y in positions) + 1.0
+        self.area = (width, height)
+        self.max_speed = 0.0
+        self.min_speed = 0.0
+        self.pause_time = math.inf
+        self._positions = list(positions)
+
+    def position(self, node_id: int, t: float) -> tuple[float, float]:
+        return self._positions[node_id]
+
+    def speed(self, node_id: int, t: float) -> float:
+        return 0.0
+
+    def move(self, node_id: int, position: tuple[float, float]) -> None:
+        """Teleport a node (tests use this to break and form links)."""
+        self._positions[node_id] = position

@@ -1,0 +1,116 @@
+"""Packet model shared by the routing protocols and the traffic agents.
+
+The packet-type vocabulary deliberately matches the paper's Feature Set II
+(Table 5): data, ROUTE REQUEST, ROUTE REPLY, ROUTE ERROR and HELLO messages,
+plus the derived "route (all)" aggregate computed at feature-extraction time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any
+
+BROADCAST = -1
+"""Destination id meaning 'all nodes within transmission range'."""
+
+
+class PacketType(IntEnum):
+    """Concrete on-air packet types (Table 5 'packet type' dimension).
+
+    ``TC`` (topology control) exists for the OLSR extension; the Table 5
+    feature grid keeps the paper's six packet types, with TC traffic
+    folded into the "route (all)" aggregate.
+    """
+
+    DATA = 0
+    RREQ = 1
+    RREP = 2
+    RERR = 3
+    HELLO = 4
+    TC = 5
+
+
+class Direction(IntEnum):
+    """Flow directions from Table 5.
+
+    The semantics follow the paper: *received* is observed at the packet's
+    final destination, *sent* at its originator, *forwarded* at intermediate
+    routers and *dropped* wherever the packet is discarded (no route, TTL
+    expiry, queue overflow or malicious drop).
+    """
+
+    RECEIVED = 0
+    SENT = 1
+    FORWARDED = 2
+    DROPPED = 3
+
+
+_uid_counter = itertools.count()
+
+
+@dataclass
+class Packet:
+    """A network packet.
+
+    Attributes
+    ----------
+    ptype:
+        On-air type.  Data packets keep ``ptype == DATA`` end to end; the
+        feature extractor folds in-transit data activity into the
+        "route (all)" aggregate exactly as the paper describes (routing
+        protocols encapsulate data, so transit events "only involve route
+        packets").
+    origin / dest:
+        End-to-end endpoints.  ``dest`` may be :data:`BROADCAST`.
+    size:
+        Bytes, used for transmission-time serialization on the medium.
+    ttl:
+        Remaining hop budget; decremented per forward.
+    hops:
+        Hops travelled so far.
+    flow_id:
+        Traffic-agent demultiplexing key for data packets.
+    info:
+        Protocol-specific header fields (sequence numbers, source routes,
+        request ids ...).
+    """
+
+    ptype: PacketType
+    origin: int
+    dest: int
+    size: int = 64
+    ttl: int = 32
+    hops: int = 0
+    flow_id: int | None = None
+    info: dict[str, Any] = field(default_factory=dict)
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+
+    def copy(self) -> "Packet":
+        """Shallow copy with a fresh uid and a copied header dict.
+
+        Used when a broadcast is re-originated per receiver or a packet is
+        salvaged onto a new route: the payload identity changes on air.
+        """
+        return Packet(
+            ptype=self.ptype,
+            origin=self.origin,
+            dest=self.dest,
+            size=self.size,
+            ttl=self.ttl,
+            hops=self.hops,
+            flow_id=self.flow_id,
+            info=dict(self.info),
+        )
+
+    @property
+    def is_control(self) -> bool:
+        """True for routing-control packets (everything except DATA)."""
+        return self.ptype != PacketType.DATA
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet({self.ptype.name}, {self.origin}->{self.dest}, "
+            f"uid={self.uid}, ttl={self.ttl}, info={self.info})"
+        )

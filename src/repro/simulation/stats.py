@@ -1,0 +1,125 @@
+"""Per-node trace logging — the simulator's substitute for ns-2 trace files.
+
+Everything the detection pipeline consumes is recorded here:
+
+* **packet events** — a timestamp stream per (packet type, flow direction)
+  pair, from which Feature Set II's counts and inter-packet-interval
+  statistics are computed over 5 s / 60 s / 900 s windows;
+* **route events** — timestamp streams for the five route-fabric event kinds
+  of Feature Set I (add, removal, find, notice, repair);
+* **route length samples** — (time, hop count) pairs for the *average route
+  length* feature.
+
+The conventions for which node logs which event are:
+
+* ``SENT`` at the originator of a packet,
+* ``RECEIVED`` at its final destination (each processing recipient for
+  broadcasts),
+* ``FORWARDED`` at intermediate routers that retransmit it,
+* ``DROPPED`` wherever it is discarded (no route, TTL expiry, interface
+  queue overflow, malicious drop).
+"""
+
+from __future__ import annotations
+
+import bisect
+from enum import IntEnum
+
+from repro.simulation.packet import Direction, PacketType
+
+
+class RouteEventKind(IntEnum):
+    """Route-fabric events of Feature Set I (Table 4)."""
+
+    ADD = 0       #: route newly added by route discovery
+    REMOVAL = 1   #: stale route being removed
+    FIND = 2      #: route found in table/cache, no re-discovery needed
+    NOTICE = 3    #: route learned by eavesdropping someone else's discovery
+    REPAIR = 4    #: broken route under repair / salvage
+
+
+class NodeStats:
+    """Trace log of one node."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        # Timestamp streams keyed by (PacketType, Direction).  Appended in
+        # simulation-time order, so each list is sorted.
+        self.packet_times: dict[tuple[int, int], list[float]] = {
+            (ptype, direction): []
+            for ptype in PacketType
+            for direction in Direction
+        }
+        self.route_times: dict[int, list[float]] = {kind: [] for kind in RouteEventKind}
+        self.route_length_samples: list[tuple[float, int]] = []
+
+    # ------------------------------------------------------------------
+    # Logging
+    # ------------------------------------------------------------------
+    def log_packet(self, time: float, ptype: PacketType, direction: Direction) -> None:
+        """Record one packet event."""
+        self.packet_times[(int(ptype), int(direction))].append(time)
+
+    def log_route_event(self, time: float, kind: RouteEventKind) -> None:
+        """Record one route-fabric event."""
+        self.route_times[int(kind)].append(time)
+
+    def log_route_length(self, time: float, hops: int) -> None:
+        """Record the hop count of a route used for a data transmission."""
+        self.route_length_samples.append((time, hops))
+
+    # ------------------------------------------------------------------
+    # Queries (used by tests and the feature extractor)
+    # ------------------------------------------------------------------
+    def packet_count(
+        self,
+        ptype: PacketType | None = None,
+        direction: Direction | None = None,
+        start: float = float("-inf"),
+        end: float = float("inf"),
+    ) -> int:
+        """Count packet events, optionally filtered by type/direction/window.
+
+        ``None`` for ``ptype`` or ``direction`` means "all".  The window is
+        the half-open interval ``(start, end]`` — the same convention the
+        feature extractor uses for sampling windows.
+        """
+        total = 0
+        for (pt, dr), times in self.packet_times.items():
+            if ptype is not None and pt != int(ptype):
+                continue
+            if direction is not None and dr != int(direction):
+                continue
+            lo = bisect.bisect_right(times, start)
+            hi = bisect.bisect_right(times, end)
+            total += hi - lo
+        return total
+
+    def route_event_count(
+        self,
+        kind: RouteEventKind,
+        start: float = float("-inf"),
+        end: float = float("inf"),
+    ) -> int:
+        """Count route events of one kind inside ``(start, end]``."""
+        times = self.route_times[int(kind)]
+        return bisect.bisect_right(times, end) - bisect.bisect_right(times, start)
+
+
+class TraceRecorder:
+    """The collection of :class:`NodeStats` for one simulation run."""
+
+    def __init__(self, n_nodes: int):
+        self.nodes = [NodeStats(i) for i in range(n_nodes)]
+
+    def __getitem__(self, node_id: int) -> NodeStats:
+        return self.nodes[node_id]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def total_packets(self) -> int:
+        """Total packet events across all nodes (sanity metric for tests)."""
+        return sum(
+            len(times) for stats in self.nodes for times in stats.packet_times.values()
+        )

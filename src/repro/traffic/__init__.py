@@ -1,0 +1,22 @@
+"""Traffic generation: UDP/CBR and simplified TCP agents.
+
+The paper's scenarios attach up to 100 random constant-bit-rate (UDP) or
+bulk-transfer (TCP) connections at rate 0.25 pkt/s.  Feature Set II only
+distinguishes data packets from routing control packets, so the transport
+models here aim for the *traffic shapes* that distinguish the two scenario
+families: open-loop periodic sends for CBR, closed-loop ACK-clocked bursts
+with retransmission for TCP.
+"""
+
+from repro.traffic.cbr import CbrSink, CbrSource
+from repro.traffic.connections import Connection, generate_connections
+from repro.traffic.tcp import TcpSink, TcpSource
+
+__all__ = [
+    "CbrSink",
+    "CbrSource",
+    "Connection",
+    "TcpSink",
+    "TcpSource",
+    "generate_connections",
+]

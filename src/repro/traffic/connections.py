@@ -1,0 +1,50 @@
+"""Random connection-pattern generation (ns-2 ``cbrgen``-style).
+
+The paper sets *maximum number of connections* to 100; like ``cbrgen`` we
+draw distinct ordered (source, destination) pairs and stagger their start
+times uniformly over an initial window so the network warms up gradually.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Connection:
+    """One end-to-end traffic flow."""
+
+    src: int
+    dst: int
+    start: float
+    flow_id: int
+
+
+def generate_connections(
+    n_nodes: int,
+    max_connections: int,
+    rng: random.Random,
+    start_window: float = 180.0,
+) -> list[Connection]:
+    """Draw up to ``max_connections`` distinct ordered node pairs.
+
+    Every pair is distinct (no duplicated flows) and loops (src == dst) are
+    excluded.  When the node count cannot support the requested number of
+    connections, all possible pairs are used.
+    """
+    if n_nodes < 2:
+        raise ValueError("need at least 2 nodes for traffic")
+    n_pairs = min(max_connections, n_nodes * (n_nodes - 1))
+    pairs: set[tuple[int, int]] = set()
+    while len(pairs) < n_pairs:
+        src = rng.randrange(n_nodes)
+        dst = rng.randrange(n_nodes)
+        if src != dst:
+            pairs.add((src, dst))
+    ordered = sorted(pairs)
+    rng.shuffle(ordered)
+    return [
+        Connection(src=s, dst=d, start=rng.uniform(0.0, start_window), flow_id=i)
+        for i, (s, d) in enumerate(ordered)
+    ]

@@ -1,0 +1,179 @@
+"""Simplified TCP: ACK-clocked sliding window with AIMD and RTO recovery.
+
+A bulk-transfer (FTP-like) source that keeps the pipe full, which is how
+the paper's TCP scenarios load the network.  The model is go-back-N with
+
+* slow start / congestion avoidance (AIMD on the congestion window),
+* a retransmission timer with exponential backoff,
+* cumulative ACKs emitted by the sink for every arriving segment.
+
+This is intentionally not a full TCP stack — Feature Set II never looks
+inside data packets — but it reproduces the closed-loop dynamics that make
+TCP traces different from CBR ones: bursts shaped by ACK arrival, silence
+after route loss, retransmission storms after repair, and reverse-path ACK
+flows that exercise routes in both directions.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.simulation.engine import Event
+from repro.simulation.node import Node
+from repro.simulation.packet import Packet
+
+
+class TcpSink:
+    """Receiving end: delivers in order and sends cumulative ACKs."""
+
+    ACK_SIZE = 40
+
+    def __init__(self, node: Node, peer: int, flow_id: int):
+        self.node = node
+        self.peer = peer
+        self.flow_id = flow_id
+        self.expected = 0
+        self.received_out_of_order: set[int] = set()
+        self.delivered = 0
+        node.register_agent(flow_id, self)
+
+    def on_receive(self, packet: Packet) -> None:
+        """Accept a data segment and emit a cumulative ACK."""
+        seq = packet.info.get("tcp_seq")
+        if seq is None:
+            return
+        if seq >= self.expected:
+            self.received_out_of_order.add(seq)
+            while self.expected in self.received_out_of_order:
+                self.received_out_of_order.discard(self.expected)
+                self.expected += 1
+                self.delivered += 1
+        self.node.send_data(
+            self.peer,
+            size=self.ACK_SIZE,
+            flow_id=self.flow_id,
+            info={"tcp_ack": self.expected},
+        )
+
+
+class TcpSource:
+    """Sending end: window-limited bulk transfer."""
+
+    def __init__(
+        self,
+        node: Node,
+        dest: int,
+        flow_id: int,
+        packet_size: int = 512,
+        start: float = 0.0,
+        stop: float = math.inf,
+        initial_rto: float = 3.0,
+        max_rto: float = 60.0,
+        max_cwnd: float = 16.0,
+        pacing: float = 0.05,
+        app_rate: float | None = None,
+    ):
+        self.node = node
+        self.dest = dest
+        self.flow_id = flow_id
+        self.packet_size = packet_size
+        self.stop = stop
+        self.initial_rto = initial_rto
+        self.max_rto = max_rto
+        self.max_cwnd = max_cwnd
+        self.pacing = pacing
+        self.app_rate = app_rate
+
+        self.send_base = 0
+        self.next_seq = 0
+        self._app_limit = math.inf if app_rate is None else 0
+        self.cwnd = 1.0
+        self.ssthresh = 8.0
+        self.rto = initial_rto
+        self.segments_sent = 0
+        self.timeouts = 0
+        self._timer: Event | None = None
+        node.register_agent(flow_id, self)
+        node.sim.schedule_at(max(start, node.sim.now), self._fill_window)
+        if app_rate is not None:
+            if app_rate <= 0:
+                raise ValueError("app_rate must be positive")
+            node.sim.schedule_at(max(start, node.sim.now), self._app_tick)
+
+    # ------------------------------------------------------------------
+    def _app_tick(self) -> None:
+        """Application data generation (bounded-rate source).
+
+        Without this, a bulk source saturates the network; with it, the
+        flow is application-limited but still ACK-clocked, preserving the
+        closed-loop dynamics while keeping simulations tractable.
+        """
+        sim = self.node.sim
+        if sim.now >= self.stop:
+            return
+        self._app_limit += 1
+        self._fill_window()
+        sim.schedule(1.0 / float(self.app_rate), self._app_tick)
+
+    def _fill_window(self) -> None:
+        sim = self.node.sim
+        if sim.now >= self.stop:
+            self._cancel_timer()
+            return
+        window_edge = min(self.send_base + self.cwnd, self._app_limit)
+        budget = int(window_edge) - self.next_seq
+        for i in range(max(budget, 0)):
+            # Pace back-to-back segments slightly apart; the interface
+            # queue would serialize them anyway, this just avoids bursts
+            # of simultaneous events.
+            sim.schedule(i * self.pacing, self._send_segment, self.next_seq)
+            self.next_seq += 1
+        if self._timer is None and self.send_base < self.next_seq:
+            self._arm_timer()
+
+    def _send_segment(self, seq: int) -> None:
+        if self.node.sim.now >= self.stop or seq < self.send_base:
+            return
+        self.segments_sent += 1
+        self.node.send_data(
+            self.dest,
+            size=self.packet_size,
+            flow_id=self.flow_id,
+            info={"tcp_seq": seq},
+        )
+
+    def on_receive(self, packet: Packet) -> None:
+        """Process a cumulative ACK: advance the window, grow cwnd."""
+        ack = packet.info.get("tcp_ack")
+        if ack is None or ack <= self.send_base:
+            return
+        self.send_base = ack
+        self.rto = self.initial_rto  # fresh progress resets the backoff
+        if self.cwnd < self.ssthresh:
+            self.cwnd = min(self.cwnd + 1.0, self.max_cwnd)  # slow start
+        else:
+            self.cwnd = min(self.cwnd + 1.0 / self.cwnd, self.max_cwnd)
+        self._cancel_timer()
+        if self.send_base < self.next_seq:
+            self._arm_timer()
+        self._fill_window()
+
+    # ------------------------------------------------------------------
+    def _arm_timer(self) -> None:
+        self._timer = self.node.sim.schedule(self.rto, self._on_timeout)
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if self.node.sim.now >= self.stop or self.send_base >= self.next_seq:
+            return
+        self.timeouts += 1
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = 1.0
+        self.next_seq = self.send_base  # go-back-N
+        self.rto = min(self.rto * 2.0, self.max_rto)
+        self._fill_window()

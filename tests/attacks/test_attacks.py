@@ -1,0 +1,210 @@
+"""Attack-module tests: session scheduling and each attack's mechanism."""
+
+import pytest
+
+from repro.attacks.base import Attack, merge_intervals, periodic_sessions
+from repro.attacks.blackhole import BlackholeAttack
+from repro.attacks.dropping import DropMode, PacketDroppingAttack
+from repro.attacks.flooding import UpdateStormAttack
+from repro.simulation.packet import Direction, PacketType
+
+from tests.routing.helpers import Net, line, received_count
+
+
+class TestSessions:
+    def test_periodic_sessions_equal_duration_and_gap(self):
+        sessions = periodic_sessions(start=100.0, duration=50.0, until=400.0)
+        assert sessions == [(100.0, 150.0), (200.0, 250.0), (300.0, 350.0)]
+
+    def test_custom_gap(self):
+        sessions = periodic_sessions(start=0.0, duration=10.0, until=100.0, gap=40.0)
+        assert sessions == [(0.0, 10.0), (50.0, 60.0)]
+
+    def test_last_session_clamped_to_until(self):
+        sessions = periodic_sessions(start=90.0, duration=50.0, until=100.0)
+        assert sessions == [(90.0, 100.0)]
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            periodic_sessions(0.0, 0.0, 100.0)
+
+    def test_merge_intervals_coalesces_overlaps(self):
+        merged = merge_intervals([(0, 10), (5, 15), (20, 30)])
+        assert merged == [(0, 15), (20, 30)]
+
+    def test_merge_intervals_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_merge_adjacent_intervals(self):
+        assert merge_intervals([(0, 10), (10, 20)]) == [(0, 20)]
+
+
+class RecordingAttack(Attack):
+    """Counts activate/deactivate calls for session-scheduling tests."""
+
+    def __init__(self, attacker, sessions):
+        super().__init__(attacker, sessions)
+        self.events = []
+
+    def activate(self):
+        self.events.append(("on", self.sim.now))
+
+    def deactivate(self):
+        self.events.append(("off", self.sim.now))
+
+
+class TestAttackScheduling:
+    def test_sessions_fire_at_boundaries(self):
+        net = line(2)
+        attack = RecordingAttack(attacker=1, sessions=[(10.0, 20.0), (30.0, 40.0)])
+        attack.install(net.sim, net.nodes)
+        net.run(50.0)
+        assert attack.events == [("on", 10.0), ("off", 20.0), ("on", 30.0), ("off", 40.0)]
+
+    def test_active_flag_tracks_sessions(self):
+        net = line(2)
+        attack = RecordingAttack(attacker=1, sessions=[(10.0, 20.0)])
+        attack.install(net.sim, net.nodes)
+        net.run(15.0)
+        assert attack.active
+        net.run(10.0)
+        assert not attack.active
+
+    def test_attacker_out_of_range_rejected(self):
+        net = line(2)
+        attack = RecordingAttack(attacker=9, sessions=[(0.0, 1.0)])
+        with pytest.raises(ValueError):
+            attack.install(net.sim, net.nodes)
+
+    def test_node_property_requires_install(self):
+        attack = RecordingAttack(attacker=0, sessions=[])
+        with pytest.raises(RuntimeError):
+            _ = attack.node
+
+
+class TestBlackhole:
+    def test_absorbs_transit_data_while_active(self):
+        net = line(3)
+        attack = BlackholeAttack(attacker=1, sessions=[(5.0, 100.0)])
+        attack.install(net.sim, net.nodes)
+        net.send(0, 2)  # before the session: delivered
+        net.run(5.5)
+        assert net.delivered(2) == 1
+        for _ in range(3):
+            net.send(0, 2)
+        net.run(20.0)
+        assert net.delivered(2) == 1  # everything after is absorbed
+        assert attack.absorbed >= 3
+
+    def test_adverts_broadcast_while_active(self):
+        net = line(3)
+        attack = BlackholeAttack(attacker=1, sessions=[(5.0, 30.0)], advert_interval=5.0)
+        attack.install(net.sim, net.nodes)
+        net.send(0, 2)
+        net.run(40.0)
+        assert attack.adverts_sent >= 4  # 2 victims x several sweeps
+        # The forged floods are visible in the attacker's trace...
+        assert net.stats(1).packet_count(PacketType.RREQ, Direction.SENT) >= 4
+        # ... and in bystanders' traces.
+        assert received_count(net, 0, PacketType.RREQ) >= 2
+
+    def test_stops_absorbing_after_session(self):
+        net = line(3)
+        attack = BlackholeAttack(attacker=1, sessions=[(5.0, 10.0)])
+        attack.install(net.sim, net.nodes)
+        net.run(12.0)
+        assert net.nodes[1].drop_filter is None
+
+
+class TestDropping:
+    def _run_with_drop(self, mode, **kwargs):
+        net = line(3)
+        attack = PacketDroppingAttack(
+            attacker=1, sessions=[(0.0, 1000.0)], mode=mode, **kwargs
+        )
+        attack.install(net.sim, net.nodes)
+        net.run(1.0)
+        for _ in range(10):
+            net.send(0, 2)
+            net.run(5.0)
+        return net, attack
+
+    def test_constant_drops_everything(self):
+        net, attack = self._run_with_drop(DropMode.CONSTANT)
+        assert net.delivered(2) == 0
+        assert attack.dropped == 10
+
+    def test_selective_only_drops_target_destination(self):
+        net = Net([(0, 0), (200, 0), (400, 0), (200, 150)])
+        attack = PacketDroppingAttack(
+            attacker=1, sessions=[(0.0, 1000.0)], mode=DropMode.SELECTIVE, destination=2
+        )
+        attack.install(net.sim, net.nodes)
+        net.run(1.0)
+        for _ in range(5):
+            net.send(0, 2)  # via attacker -> dropped
+            net.send(0, 3)  # via attacker but another destination -> passes
+            net.run(5.0)
+        assert net.delivered(2) == 0
+        assert net.delivered(3) == 5
+
+    def test_random_drops_a_fraction(self):
+        net, attack = self._run_with_drop(DropMode.RANDOM, drop_prob=0.5)
+        assert 0 < net.delivered(2) < 10
+
+    def test_periodic_duty_cycle(self):
+        net, attack = self._run_with_drop(DropMode.PERIODIC, period=10.0, duty=0.5)
+        assert 0 < net.delivered(2) < 10
+
+    def test_control_packets_never_dropped(self):
+        net, attack = self._run_with_drop(DropMode.CONSTANT)
+        # Route discovery still works through the attacker (it only drops
+        # data), so the source keeps finding "routes".
+        assert net.protocols[0].table  # discovery succeeded at least once
+
+    def test_selective_requires_destination(self):
+        with pytest.raises(ValueError):
+            PacketDroppingAttack(attacker=0, sessions=[], mode=DropMode.SELECTIVE)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            PacketDroppingAttack(attacker=0, sessions=[], mode=DropMode.RANDOM,
+                                 drop_prob=1.5)
+
+
+class TestUpdateStorm:
+    def test_floods_at_configured_rate(self):
+        net = line(3)
+        attack = UpdateStormAttack(attacker=1, sessions=[(0.0, 10.0)], rate=10.0)
+        attack.install(net.sim, net.nodes)
+        net.run(15.0)
+        assert 80 <= attack.floods_sent <= 110
+        assert received_count(net, 0, PacketType.RREQ) >= 50
+
+    def test_stops_after_session(self):
+        net = line(3)
+        attack = UpdateStormAttack(attacker=1, sessions=[(0.0, 5.0)], rate=10.0)
+        attack.install(net.sim, net.nodes)
+        net.run(20.0)
+        flooded = attack.floods_sent
+        net.run(20.0)
+        assert attack.floods_sent == flooded
+
+    def test_congests_the_network(self):
+        """The storm delays/starves legitimate traffic (the §2.3 goal)."""
+        quiet = line(4)
+        for _ in range(20):
+            quiet.send(0, 3)
+            quiet.run(2.0)
+        stormy = line(4)
+        attack = UpdateStormAttack(attacker=1, sessions=[(0.0, 100.0)], rate=200.0)
+        attack.install(stormy.sim, stormy.nodes)
+        for _ in range(20):
+            stormy.send(0, 3)
+            stormy.run(2.0)
+        assert stormy.delivered(3) <= quiet.delivered(3)
+        assert stormy.medium.congestion_drops >= 0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateStormAttack(attacker=0, sessions=[], rate=0.0)

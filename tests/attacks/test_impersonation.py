@@ -1,0 +1,79 @@
+"""Identity impersonation attack tests (§2.3 taxonomy)."""
+
+import pytest
+
+from repro.attacks.impersonation import ImpersonationAttack
+from repro.simulation.packet import Direction, PacketType
+from repro.simulation.stats import RouteEventKind
+
+from tests.routing.helpers import line, received_count
+
+
+class TestConstruction:
+    def test_self_impersonation_rejected(self):
+        with pytest.raises(ValueError):
+            ImpersonationAttack(attacker=1, victim=1, sessions=[])
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ImpersonationAttack(attacker=1, victim=2, sessions=[], rate=0.0)
+
+
+class TestAodvImpersonation:
+    def build(self):
+        net = line(4)
+        # Warm up routes: 0 -> 3 through 1 and 2.
+        net.send(0, 3)
+        net.run(5.0)
+        attack = ImpersonationAttack(attacker=2, victim=1,
+                                     sessions=[(10.0, 40.0)], rate=4.0)
+        attack.install(net.sim, net.nodes)
+        return net, attack
+
+    def test_forges_both_channels(self):
+        net, attack = self.build()
+        net.run(40.0)
+        assert attack.forged_control > 10
+        assert attack.forged_data > 10
+
+    def test_forged_rerr_tears_down_routes_through_victim(self):
+        net, attack = self.build()
+        removals_before = net.stats(0).route_event_count(RouteEventKind.REMOVAL)
+        net.run(40.0)
+        # Node 0's route to 3 goes through node 1 (the victim) — the forged
+        # errors keep invalidating it.
+        assert net.stats(0).route_event_count(RouteEventKind.REMOVAL) > removals_before
+
+    def test_forged_data_arrives_attributed_to_victim(self):
+        net, attack = self.build()
+        net.run(40.0)
+        # Receivers see data "from" node 1 that node 1 never sent.
+        received_total = sum(
+            net.stats(i).packet_count(PacketType.DATA, Direction.RECEIVED)
+            for i in range(4)
+        )
+        sent_by_victim = net.stats(1).packet_count(PacketType.DATA, Direction.SENT)
+        assert received_total > sent_by_victim  # attribution is broken
+
+    def test_stops_after_session(self):
+        net, attack = self.build()
+        net.run(40.0)
+        forged = attack.forged_control + attack.forged_data
+        net.run(30.0)
+        assert attack.forged_control + attack.forged_data == forged
+
+
+class TestDsrImpersonation:
+    def test_runs_and_forges_on_dsr(self):
+        net = line(4, protocol="dsr")
+        net.send(0, 3)
+        net.run(5.0)
+        attack = ImpersonationAttack(attacker=2, victim=1,
+                                     sessions=[(10.0, 30.0)], rate=4.0)
+        attack.install(net.sim, net.nodes)
+        net.run(40.0)
+        assert attack.forged_control > 5
+        # Neighbours heard forged RERRs.
+        assert received_count(net, 1, PacketType.RERR) + received_count(
+            net, 3, PacketType.RERR
+        ) > 0

@@ -1,0 +1,87 @@
+"""Equal-frequency discretizer tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.discretization import EqualFrequencyDiscretizer
+
+
+class TestFit:
+    def test_equal_frequency_on_uniform_data(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(0, 100, size=(5000, 1))
+        codes = EqualFrequencyDiscretizer(n_buckets=5).fit_transform(X)
+        counts = np.bincount(codes[:, 0])
+        # Five populated buckets of roughly equal mass (plus the empty
+        # out-of-range bucket).
+        assert (counts[:5] > 800).all()
+
+    def test_bucket_count_paper_default(self):
+        X = np.arange(100, dtype=float).reshape(-1, 1)
+        disc = EqualFrequencyDiscretizer().fit(X)
+        # 5 buckets + the out-of-range bucket.
+        assert disc.n_values()[0] == 6
+
+    def test_constant_column_gets_escape_bucket(self):
+        X = np.full((50, 1), 7.0)
+        disc = EqualFrequencyDiscretizer().fit(X)
+        codes = disc.transform(np.array([[7.0], [7.1], [6.9]]))
+        assert codes[0, 0] == 0   # the constant itself
+        assert codes[1, 0] == 1   # above: never seen in normal data
+        assert codes[2, 0] == 0   # below folds into the base bucket
+
+    def test_skewed_column_separates_minimum_mass(self):
+        X = np.array([[0.0]] * 95 + [[10.0]] * 5)
+        codes = EqualFrequencyDiscretizer().fit(X).transform(X)
+        assert codes[0, 0] != codes[-1, 0]
+
+    def test_out_of_range_bucket_flags_attack_values(self):
+        X = np.linspace(0, 10, 100).reshape(-1, 1)
+        disc = EqualFrequencyDiscretizer().fit(X)
+        codes = disc.transform(np.array([[5.0], [10.0], [1000.0]]))
+        top = disc.n_values()[0] - 1
+        assert codes[2, 0] == top
+        assert codes[0, 0] < top and codes[1, 0] < top
+
+    def test_out_of_range_bucket_can_be_disabled(self):
+        X = np.linspace(0, 10, 100).reshape(-1, 1)
+        disc = EqualFrequencyDiscretizer(out_of_range_bucket=False).fit(X)
+        codes = disc.transform(np.array([[10.0], [1000.0]]))
+        assert codes[0, 0] == codes[1, 0]
+
+    def test_prefilter_uses_subsample(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(1000, 2))
+        a = EqualFrequencyDiscretizer(prefilter_fraction=0.2, random_state=0).fit(X)
+        b = EqualFrequencyDiscretizer().fit(X)
+        # Different data -> (generally) different edges, but same structure.
+        assert len(a.edges_) == len(b.edges_)
+        codes = a.transform(X)
+        assert (codes >= 0).all()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EqualFrequencyDiscretizer(n_buckets=1)
+        with pytest.raises(ValueError):
+            EqualFrequencyDiscretizer(prefilter_fraction=0.0)
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            EqualFrequencyDiscretizer().fit(np.empty((0, 2)))
+
+
+class TestTransform:
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            EqualFrequencyDiscretizer().transform(np.zeros((1, 1)))
+
+    def test_column_count_checked(self):
+        disc = EqualFrequencyDiscretizer().fit(np.zeros((10, 2)))
+        with pytest.raises(ValueError):
+            disc.transform(np.zeros((5, 3)))
+
+    def test_transform_deterministic(self):
+        rng = np.random.default_rng(2)
+        X = rng.exponential(size=(200, 3))
+        disc = EqualFrequencyDiscretizer().fit(X)
+        np.testing.assert_array_equal(disc.transform(X), disc.transform(X))

@@ -1,0 +1,70 @@
+"""Anomaly-attribution (explain) tests — the §6 interpretability hook."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import CrossFeatureDetector, CrossFeatureModel
+
+
+def correlated_normal(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    activity = rng.uniform(0, 10, size=n)
+    return np.column_stack([
+        activity + rng.normal(0, 0.3, n),
+        2 * activity + rng.normal(0, 0.5, n),
+        activity ** 1.5 + rng.normal(0, 0.5, n),
+        rng.uniform(0, 1, n),
+    ])
+
+
+NAMES = ["load", "double_load", "load_pow", "noise"]
+
+
+@pytest.fixture(scope="module")
+def detector():
+    det = CrossFeatureDetector(method="calibrated_probability")
+    det.fit(correlated_normal(), feature_names=NAMES)
+    return det
+
+
+class TestExplain:
+    def test_entries_sorted_most_anomalous_first(self, detector):
+        event = np.array([5.0, 10.0, 11.0, 0.5])  # perfectly normal-looking
+        entries = detector.explain(event)
+        cals = [e["calibrated"] for e in entries]
+        assert cals == sorted(cals)
+
+    def test_broken_feature_is_identified(self, detector):
+        # An event where one feature violently contradicts the others.
+        event = np.array([5.0, 10.0, 1e6, 0.5])
+        entries = detector.explain(event, top_k=2)
+        implicated = {e["feature"] for e in entries}
+        # The broken column's own sub-model must be among the top culprits.
+        assert "load_pow" in implicated
+        assert entries[0]["p_true"] <= 0.5
+
+    def test_top_k_respected(self, detector):
+        entries = detector.explain(np.array([5.0, 10.0, 11.0, 0.5]), top_k=2)
+        assert len(entries) == 2
+
+    def test_entry_schema(self, detector):
+        entry = detector.explain(np.array([5.0, 10.0, 11.0, 0.5]), top_k=1)[0]
+        assert set(entry) == {"feature", "p_true", "baseline", "calibrated"}
+        assert 0.0 <= entry["p_true"] <= 1.0
+        assert entry["baseline"] is not None
+
+    def test_uncalibrated_model_explains_with_raw_probabilities(self):
+        model = CrossFeatureModel()
+        model.fit(correlated_normal(), feature_names=NAMES)
+        entries = model.explain(np.array([5.0, 10.0, 11.0, 0.5]))
+        assert entries[0]["baseline"] is None
+
+    def test_multiple_events_rejected(self, detector):
+        with pytest.raises(ValueError):
+            detector.explain(np.zeros((2, 4)))
+
+    def test_indices_used_without_names(self):
+        model = CrossFeatureModel()
+        model.fit(correlated_normal())
+        entries = model.explain(np.array([5.0, 10.0, 11.0, 0.5]), top_k=1)
+        assert isinstance(entries[0]["feature"], int)

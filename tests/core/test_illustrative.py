@@ -1,0 +1,105 @@
+"""The §3 two-node example must reproduce Tables 1-3 exactly."""
+
+import pytest
+
+from repro.core.illustrative import (
+    NORMAL_EVENTS,
+    IllustrativeClassifier,
+    TwoNodeExample,
+)
+
+
+@pytest.fixture(scope="module")
+def example():
+    return TwoNodeExample()
+
+
+class TestTable1:
+    def test_four_normal_events(self, example):
+        events = example.normal_events()
+        assert len(events) == 4
+        assert (True, True, True) in events
+        assert (True, False, False) in events
+        assert (False, False, True) in events
+        assert (False, False, False) in events
+
+
+class TestTable2:
+    def test_reachable_submodel(self, example):
+        """Table 2(a): sub-model with respect to 'Reachable?'."""
+        clf = example.classifiers[0]
+        # (Delivered, Cached) -> (prediction, probability)
+        assert clf.predict_with_probability((None, True, True)) == (True, 1.0)
+        assert clf.predict_with_probability((None, False, False)) == (True, 0.5)
+        assert clf.predict_with_probability((None, False, True)) == (False, 1.0)
+        assert clf.predict_with_probability((None, True, False)) == (True, 0.5)
+
+    def test_delivered_submodel(self, example):
+        """Table 2(b): all four combinations are deterministic."""
+        clf = example.classifiers[1]
+        assert clf.predict_with_probability((True, None, True)) == (True, 1.0)
+        assert clf.predict_with_probability((True, None, False)) == (False, 1.0)
+        assert clf.predict_with_probability((False, None, True)) == (False, 1.0)
+        assert clf.predict_with_probability((False, None, False)) == (False, 1.0)
+
+    def test_cached_submodel(self, example):
+        """Table 2(c)."""
+        clf = example.classifiers[2]
+        assert clf.predict_with_probability((True, True, None)) == (True, 1.0)
+        assert clf.predict_with_probability((True, False, None)) == (False, 1.0)
+        assert clf.predict_with_probability((False, False, None)) == (True, 0.5)
+        assert clf.predict_with_probability((False, True, None)) == (True, 0.5)
+
+
+class TestTable3:
+    EXPECTED = {
+        (True, True, True): ("Normal", 1.0, 1.0),
+        (True, False, False): ("Normal", 1.0, 0.83),
+        (False, False, True): ("Normal", 1.0, 0.83),
+        (False, False, False): ("Normal", 0.33, 0.67),
+        (True, True, False): ("Abnormal", 0.33, 0.17),
+        (True, False, True): ("Abnormal", 0.0, 0.0),
+        (False, True, True): ("Abnormal", 0.33, 0.17),
+        (False, True, False): ("Abnormal", 0.0, 0.33),
+    }
+
+    def test_every_row_matches_paper(self, example):
+        for score in example.all_event_scores():
+            cls, mc, ap = self.EXPECTED[score.event]
+            assert score.is_normal == (cls == "Normal"), score.event
+            assert score.avg_match_count == pytest.approx(mc, abs=0.005), score.event
+            assert score.avg_probability == pytest.approx(ap, abs=0.005), score.event
+
+    def test_paper_worked_example(self, example):
+        """{True, False, False}: match count 1, probability (1+1+0.5)/3."""
+        s = example.score_event((True, False, False))
+        assert s.avg_match_count == pytest.approx(1.0)
+        assert s.avg_probability == pytest.approx((1 + 1 + 0.5) / 3)
+
+    def test_algorithm3_perfect_algorithm2_one_false_alarm(self, example):
+        """The paper's headline for the example: at threshold 0.5,
+        Algorithm 3 separates perfectly while Algorithm 2 raises exactly
+        one false alarm (on {False, False, False})."""
+        errors = example.classify_all(threshold=0.5)
+        assert errors == {
+            "alg2_false_alarms": 1,
+            "alg2_misses": 0,
+            "alg3_false_alarms": 0,
+            "alg3_misses": 0,
+        }
+
+    def test_false_alarm_is_the_fff_event(self, example):
+        s = example.score_event((False, False, False))
+        assert s.is_normal
+        assert s.avg_match_count < 0.5 <= s.avg_probability
+
+
+class TestIllustrativeClassifier:
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            IllustrativeClassifier(target=5)
+
+    def test_rules_enumerate_seen_combinations(self):
+        clf = IllustrativeClassifier(target=0)
+        rules = clf.rules()
+        assert len(rules) == 3  # three distinct (Delivered, Cached) combos seen

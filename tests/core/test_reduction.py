@@ -1,0 +1,108 @@
+"""Model/feature reduction tests (§6 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import CrossFeatureModel
+from repro.core.reduction import correlation_reduce, factor_reduce, reduction_report
+
+
+def redundant_data(n=200, seed=0):
+    """Three independent signals, each duplicated with tiny noise."""
+    rng = np.random.default_rng(seed)
+    a = rng.uniform(0, 10, n)
+    b = rng.uniform(0, 10, n)
+    c = rng.uniform(0, 10, n)
+    return np.column_stack([
+        a, a + rng.normal(0, 1e-3, n),       # near-duplicate pair
+        b, 2 * b + rng.normal(0, 1e-3, n),   # linear duplicate
+        c,
+        np.full(n, 7.0),                     # constant
+    ])
+
+
+class TestCorrelationReduce:
+    def test_drops_duplicates(self):
+        kept = correlation_reduce(redundant_data(), threshold=0.95)
+        # One of each duplicated pair goes; independents and the constant stay.
+        assert 0 in kept and 1 not in kept
+        assert 2 in kept and 3 not in kept
+        assert 4 in kept
+        assert 5 in kept  # constant kept as escape-bucket detector
+
+    def test_threshold_one_keeps_everything_distinct(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 5))
+        kept = correlation_reduce(X, threshold=1.0)
+        assert kept == [0, 1, 2, 3, 4]
+
+    def test_lower_threshold_drops_more(self):
+        rng = np.random.default_rng(2)
+        base = rng.normal(size=(200, 1))
+        X = base + rng.normal(0, 0.5, size=(200, 6))  # all moderately correlated
+        loose = correlation_reduce(X, threshold=0.99)
+        tight = correlation_reduce(X, threshold=0.5)
+        assert len(tight) <= len(loose)
+
+    def test_deterministic(self):
+        X = redundant_data(seed=3)
+        assert correlation_reduce(X) == correlation_reduce(X)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            correlation_reduce(redundant_data(), threshold=0.0)
+        with pytest.raises(ValueError):
+            correlation_reduce(np.zeros((2, 3)))
+
+
+class TestFactorReduce:
+    def test_selects_requested_count(self):
+        kept = factor_reduce(redundant_data(), n_features=3)
+        assert len(kept) == 3
+        assert kept == sorted(set(kept))
+
+    def test_representatives_span_distinct_signals(self):
+        """Each duplicated pair contributes at most one early pick."""
+        kept = factor_reduce(redundant_data(), n_features=3)
+        assert not ({0, 1} <= set(kept))
+        assert not ({2, 3} <= set(kept))
+
+    def test_full_selection_allowed(self):
+        X = redundant_data()
+        kept = factor_reduce(X, n_features=X.shape[1])
+        assert len(kept) == X.shape[1]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            factor_reduce(redundant_data(), n_features=0)
+        with pytest.raises(ValueError):
+            factor_reduce(redundant_data(), n_features=99)
+
+
+class TestReductionWithModel:
+    def test_reduced_model_still_detects(self):
+        rng = np.random.default_rng(4)
+        activity = rng.uniform(0, 10, 400)
+        other = rng.uniform(0, 5, 400)
+        X = np.column_stack([
+            activity + rng.normal(0, 0.2, 400),
+            activity + rng.normal(0, 0.2, 400),   # redundant
+            other + rng.normal(0, 0.1, 400),
+            activity + other + rng.normal(0, 0.2, 400),
+        ])
+        kept = correlation_reduce(X, threshold=0.9)
+        assert 2 <= len(kept) < 4
+        model = CrossFeatureModel(feature_subset=kept)
+        model.fit(X)
+        model.calibrate(X)
+        anomalies = rng.uniform(0, 30, size=(50, 4))
+        assert (model.normality_score(X).mean()
+                > model.normality_score(anomalies).mean())
+
+    def test_report(self):
+        X = redundant_data()
+        names = [f"f{i}" for i in range(X.shape[1])]
+        report = reduction_report(X, names)
+        assert report["n_original"] == 6
+        assert report["n_kept"] == len(report["kept_names"])
+        assert 0 < report["reduction"] < 1

@@ -1,0 +1,95 @@
+"""Regression-based cross-feature analysis tests (§3 generalization)."""
+
+import numpy as np
+import pytest
+
+from repro.core.regression import RegressionCrossFeatureModel
+from repro.core.threshold import select_threshold
+
+
+def linear_normal(n=300, seed=0):
+    """Features linearly entangled (what OLS sub-models can capture)."""
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(1, 10, size=n)
+    return np.column_stack([
+        base + rng.normal(0, 0.05, n),
+        3 * base + 2 + rng.normal(0, 0.1, n),
+        0.5 * base + rng.normal(0, 0.05, n),
+    ])
+
+
+class TestFit:
+    def test_one_model_per_feature(self):
+        model = RegressionCrossFeatureModel().fit(linear_normal())
+        assert model.n_models == 3
+
+    def test_needs_more_rows_than_features(self):
+        with pytest.raises(ValueError):
+            RegressionCrossFeatureModel().fit(np.ones((3, 5)))
+
+    def test_needs_two_features(self):
+        with pytest.raises(ValueError):
+            RegressionCrossFeatureModel().fit(np.ones((10, 1)))
+
+    def test_predictions_recover_linear_structure(self):
+        model = RegressionCrossFeatureModel().fit(linear_normal())
+        X = linear_normal(seed=1)
+        preds = model.predictions(X)
+        np.testing.assert_allclose(preds[:, 1], X[:, 1], rtol=0.1)
+
+    def test_collinear_features_handled(self):
+        """Ridge keeps duplicated columns from blowing up the solve."""
+        X = linear_normal()
+        X = np.column_stack([X, X[:, 0]])
+        model = RegressionCrossFeatureModel().fit(X)
+        assert np.isfinite(model.deviation(X)).all()
+
+
+class TestScoring:
+    def test_log_distance_zero_for_perfect_prediction(self):
+        X = linear_normal()
+        model = RegressionCrossFeatureModel().fit(X)
+        d = model.log_distances(X)
+        assert d.mean() < 0.2
+
+    def test_anomalies_have_larger_deviation(self):
+        model = RegressionCrossFeatureModel().fit(linear_normal())
+        normal_dev = model.deviation(linear_normal(seed=2)).mean()
+        rng = np.random.default_rng(3)
+        anomalies = rng.uniform(1, 30, size=(100, 3))  # correlations broken
+        assert model.deviation(anomalies).mean() > normal_dev * 2
+
+    def test_normality_score_is_negated_deviation(self):
+        model = RegressionCrossFeatureModel().fit(linear_normal())
+        X = linear_normal(seed=4)[:10]
+        np.testing.assert_allclose(model.normality_score(X), -model.deviation(X))
+
+    def test_threshold_pipeline_compatible(self):
+        """The regression variant plugs into the same threshold logic."""
+        model = RegressionCrossFeatureModel().fit(linear_normal())
+        normal_scores = model.normality_score(linear_normal(seed=5))
+        thr = select_threshold(normal_scores, 0.05)
+        rng = np.random.default_rng(6)
+        anomalies = rng.uniform(1, 30, size=(50, 3))
+        assert (model.normality_score(anomalies) < thr).mean() > 0.6
+
+    def test_zero_values_do_not_crash(self):
+        X = linear_normal()
+        X[0] = 0.0
+        model = RegressionCrossFeatureModel().fit(X)
+        assert np.isfinite(model.deviation(X)).all()
+
+    def test_unknown_method_rejected(self):
+        model = RegressionCrossFeatureModel().fit(linear_normal())
+        with pytest.raises(ValueError):
+            model.normality_score(linear_normal()[:2], method="bogus")
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RegressionCrossFeatureModel(epsilon=0.0)
+        with pytest.raises(ValueError):
+            RegressionCrossFeatureModel(ridge=-1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionCrossFeatureModel().predictions(np.ones((2, 3)))

@@ -1,0 +1,61 @@
+"""Scoring-rule and threshold-selection unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import average_match_count, average_probability
+from repro.core.threshold import select_threshold
+
+
+class TestAverageMatchCount:
+    def test_paper_example(self):
+        """(1 + 1 + 1) / 3 = 1 for the all-match case (paper §3)."""
+        assert average_match_count(np.array([[1, 1, 1]]))[0] == pytest.approx(1.0)
+
+    def test_partial_match(self):
+        assert average_match_count(np.array([[1, 0, 0]]))[0] == pytest.approx(1 / 3)
+
+    def test_normalised_to_unit_interval(self):
+        rng = np.random.default_rng(0)
+        m = rng.integers(0, 2, size=(50, 7))
+        scores = average_match_count(m)
+        assert (scores >= 0).all() and (scores <= 1).all()
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            average_match_count(np.array([1, 0]))
+
+    def test_requires_submodels(self):
+        with pytest.raises(ValueError):
+            average_match_count(np.empty((3, 0)))
+
+
+class TestAverageProbability:
+    def test_paper_example(self):
+        """(1 + 1 + 0.5) / 3 = 0.83 for {True, False, False} (paper §3)."""
+        assert average_probability(np.array([[1.0, 1.0, 0.5]]))[0] == pytest.approx(0.8333, abs=1e-3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            average_probability(np.array([[1.2]]))
+        with pytest.raises(ValueError):
+            average_probability(np.array([[-0.1]]))
+
+
+class TestSelectThreshold:
+    def test_quantile_semantics(self):
+        scores = np.linspace(0, 1, 101)
+        thr = select_threshold(scores, false_alarm_rate=0.05)
+        assert (scores < thr).mean() <= 0.05
+
+    def test_zero_false_alarm_rate_is_minimum(self):
+        scores = np.array([0.3, 0.5, 0.9])
+        assert select_threshold(scores, 0.0) == pytest.approx(0.3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            select_threshold(np.array([]))
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            select_threshold(np.array([0.5]), 1.5)

@@ -1,0 +1,142 @@
+"""Recall-precision, AUC and density/timeseries metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval.density import score_density, separation_summary
+from repro.eval.metrics import (
+    area_above_diagonal,
+    optimal_point,
+    precision_recall_curve,
+    recall_precision_at,
+)
+from repro.eval.timeseries import averaged_score_series, smoothed
+
+
+def perfect_scores():
+    """Anomalies all score below every normal event."""
+    scores = np.array([0.1, 0.2, 0.3, 0.8, 0.9, 1.0])
+    labels = np.array([True, True, True, False, False, False])
+    return scores, labels
+
+
+def random_scores(n=2000, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(size=n), rng.random(n) < 0.5
+
+
+class TestPrCurve:
+    def test_perfect_separation_reaches_one_one(self):
+        curve = precision_recall_curve(*perfect_scores())
+        r, p, thr = optimal_point(curve)
+        assert r == 1.0 and p == 1.0
+        assert 0.3 < thr <= 0.8
+
+    def test_recall_monotone_in_threshold(self):
+        scores, labels = random_scores()
+        curve = precision_recall_curve(scores, labels)
+        assert (np.diff(curve.recalls) >= 0).all()
+        assert (np.diff(curve.thresholds) > 0).all()
+
+    def test_alarm_semantics_below_threshold(self):
+        scores = np.array([0.1, 0.9])
+        labels = np.array([True, False])
+        r, p = recall_precision_at(scores, labels, threshold=0.5)
+        assert r == 1.0 and p == 1.0
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve(np.array([0.1]), np.array([True]))
+        with pytest.raises(ValueError):
+            precision_recall_curve(np.array([0.1]), np.array([False]))
+
+    def test_duplicate_scores_collapse_to_one_point(self):
+        scores = np.array([0.5, 0.5, 0.5, 0.9])
+        labels = np.array([True, True, False, False])
+        curve = precision_recall_curve(scores, labels)
+        assert len(curve) == 2
+
+
+class TestAuc:
+    def test_perfect_curve_near_half(self):
+        curve = precision_recall_curve(*perfect_scores())
+        assert area_above_diagonal(curve) == pytest.approx(0.5, abs=0.05)
+
+    def test_random_scores_near_zero(self):
+        curve = precision_recall_curve(*random_scores())
+        assert abs(area_above_diagonal(curve)) < 0.05
+
+    def test_inverted_scores_negative(self):
+        scores, labels = perfect_scores()
+        curve = precision_recall_curve(-scores, labels)
+        assert area_above_diagonal(curve) <= -0.19
+
+
+class TestDensity:
+    def test_density_integrates_to_one(self):
+        rng = np.random.default_rng(1)
+        d = score_density(rng.uniform(size=500))
+        widths = np.diff(d.bin_edges)
+        assert float((d.density * widths).sum()) == pytest.approx(1.0)
+
+    def test_mass_below_plus_above_is_one(self):
+        rng = np.random.default_rng(2)
+        d = score_density(rng.uniform(size=500))
+        assert d.mass_below(0.4) + d.mass_above(0.4) == pytest.approx(1.0)
+
+    def test_mass_below_matches_empirical_cdf(self):
+        rng = np.random.default_rng(3)
+        scores = rng.uniform(size=4000)
+        d = score_density(scores, n_bins=40)
+        assert d.mass_below(0.35) == pytest.approx((scores < 0.35).mean(), abs=0.03)
+
+    def test_separation_summary(self):
+        normal = score_density(np.full(100, 0.9))
+        abnormal = score_density(np.full(100, 0.1))
+        summary = separation_summary(normal, abnormal, threshold=0.5)
+        assert summary["false_alarm_mass"] == pytest.approx(0.0)
+        assert summary["missed_anomaly_mass"] == pytest.approx(0.0)
+
+    def test_scores_clipped_into_range(self):
+        d = score_density(np.array([-0.5, 1.5, 0.5]))
+        widths = np.diff(d.bin_edges)
+        assert float((d.density * widths).sum()) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            score_density(np.array([]))
+
+
+class TestTimeseries:
+    def test_averaging_multiple_runs(self):
+        times = np.array([5.0, 10.0, 15.0])
+        series = averaged_score_series(times, [np.array([0.0, 1.0, 0.5]),
+                                               np.array([1.0, 0.0, 0.5])])
+        np.testing.assert_allclose(series.scores, [0.5, 0.5, 0.5])
+
+    def test_mean_in_window(self):
+        times = np.array([5.0, 10.0, 15.0, 20.0])
+        series = averaged_score_series(times, [np.array([1.0, 2.0, 3.0, 4.0])])
+        assert series.mean_in(10.0, 20.0) == pytest.approx(2.5)
+
+    def test_mean_in_empty_window_rejected(self):
+        times = np.array([5.0])
+        series = averaged_score_series(times, [np.array([1.0])])
+        with pytest.raises(ValueError):
+            series.mean_in(100.0, 200.0)
+
+    def test_misaligned_runs_rejected(self):
+        with pytest.raises(ValueError):
+            averaged_score_series(np.array([5.0, 10.0]), [np.array([1.0])])
+
+    def test_no_runs_rejected(self):
+        with pytest.raises(ValueError):
+            averaged_score_series(np.array([5.0]), [])
+
+    def test_smoothing_preserves_length_and_range(self):
+        times = np.arange(0, 100, 5.0)
+        rng = np.random.default_rng(4)
+        series = averaged_score_series(times, [rng.uniform(size=20)])
+        smooth = smoothed(series, window=5)
+        assert len(smooth.scores) == 20
+        assert smooth.scores.std() <= series.scores.std()

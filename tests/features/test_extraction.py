@@ -1,0 +1,104 @@
+"""Feature-extraction pipeline tests on real (small) simulation traces."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import BlackholeAttack
+from repro.features.extraction import FeatureDataset, extract_features
+from repro.simulation.scenario import run_scenario
+
+from tests.conftest import small_config
+
+
+class TestExtraction:
+    def test_full_feature_count(self, aodv_udp_trace):
+        ds = extract_features(aodv_udp_trace, monitor=0)
+        assert ds.n_features == 8 + 132  # Feature Set I + II
+
+    def test_row_per_sampling_window(self, aodv_udp_trace):
+        ds = extract_features(aodv_udp_trace, monitor=0)
+        assert len(ds) == len(aodv_udp_trace.tick_times)
+        assert np.all(np.diff(ds.times) == pytest.approx(5.0))
+
+    def test_normal_trace_has_no_intrusion_labels(self, aodv_udp_trace):
+        ds = extract_features(aodv_udp_trace, monitor=0)
+        assert not ds.labels.any()
+
+    def test_warmup_drops_early_windows(self, aodv_udp_trace):
+        ds = extract_features(aodv_udp_trace, monitor=0, warmup=50.0)
+        assert ds.times.min() >= 50.0
+
+    def test_monitor_out_of_range_rejected(self, aodv_udp_trace):
+        with pytest.raises(ValueError):
+            extract_features(aodv_udp_trace, monitor=99)
+
+    def test_features_differ_between_monitors(self, aodv_udp_trace):
+        a = extract_features(aodv_udp_trace, monitor=0)
+        b = extract_features(aodv_udp_trace, monitor=1)
+        assert not np.allclose(a.X, b.X)
+
+    def test_all_features_finite_and_nonnegative(self, aodv_udp_trace):
+        ds = extract_features(aodv_udp_trace, monitor=0)
+        assert np.isfinite(ds.X).all()
+        assert (ds.X >= 0).all()
+
+    def test_attack_trace_labels(self):
+        cfg = small_config(seed=5)
+        attack = BlackholeAttack(attacker=9, sessions=[(100.0, 150.0)])
+        trace = run_scenario(cfg, attacks=[attack])
+        ds = extract_features(trace, monitor=0, label_policy="session")
+        in_session = (ds.times > 100.0) & (ds.times <= 150.0)
+        assert ds.labels[in_session].all()
+        assert not ds.labels[ds.times <= 100.0].any()
+
+    def test_post_attack_policy_labels_everything_after_start(self):
+        cfg = small_config(seed=5)
+        attack = BlackholeAttack(attacker=9, sessions=[(100.0, 150.0)])
+        trace = run_scenario(cfg, attacks=[attack])
+        ds = extract_features(trace, monitor=0, label_policy="post_attack")
+        assert ds.labels[ds.times > 100.0].all()
+        assert not ds.labels[ds.times <= 100.0].any()
+
+
+class TestFeatureDataset:
+    def test_normal_only_filters(self):
+        ds = FeatureDataset(
+            X=np.arange(8, dtype=float).reshape(4, 2),
+            feature_names=["a", "b"],
+            times=np.array([5.0, 10.0, 15.0, 20.0]),
+            labels=np.array([False, True, False, True]),
+            monitor=0,
+        )
+        normal = ds.normal_only()
+        assert len(normal) == 2
+        assert not normal.labels.any()
+
+    def test_slice_time(self):
+        ds = FeatureDataset(
+            X=np.zeros((4, 1)),
+            feature_names=["a"],
+            times=np.array([5.0, 10.0, 15.0, 20.0]),
+            labels=np.zeros(4, dtype=bool),
+            monitor=0,
+        )
+        part = ds.slice_time(10.0, 20.0)
+        assert part.times.tolist() == [10.0, 15.0]
+
+    def test_concat(self):
+        mk = lambda t0: FeatureDataset(
+            X=np.ones((2, 1)) * t0,
+            feature_names=["a"],
+            times=np.array([t0, t0 + 5.0]),
+            labels=np.zeros(2, dtype=bool),
+            monitor=0,
+        )
+        combined = FeatureDataset.concat([mk(5.0), mk(50.0)])
+        assert len(combined) == 4
+
+    def test_concat_rejects_mismatched_features(self):
+        a = FeatureDataset(np.zeros((1, 1)), ["a"], np.array([5.0]),
+                           np.array([False]), 0)
+        b = FeatureDataset(np.zeros((1, 1)), ["b"], np.array([5.0]),
+                           np.array([False]), 0)
+        with pytest.raises(ValueError):
+            FeatureDataset.concat([a, b])

@@ -1,0 +1,56 @@
+"""Dataset persistence round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.features.extraction import FeatureDataset
+from repro.features.io import load_dataset, save_dataset
+
+
+@pytest.fixture
+def dataset():
+    rng = np.random.default_rng(0)
+    return FeatureDataset(
+        X=rng.uniform(size=(20, 5)),
+        feature_names=[f"f{i}" for i in range(5)],
+        times=np.arange(5.0, 105.0, 5.0),
+        labels=rng.random(20) < 0.3,
+        monitor=3,
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "trace")
+        loaded = load_dataset(path)
+        np.testing.assert_array_equal(loaded.X, dataset.X)
+        np.testing.assert_array_equal(loaded.times, dataset.times)
+        np.testing.assert_array_equal(loaded.labels, dataset.labels)
+        assert loaded.feature_names == dataset.feature_names
+        assert loaded.monitor == dataset.monitor
+
+    def test_suffix_appended(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "trace")
+        assert path.suffix == ".npz"
+
+    def test_existing_npz_suffix_kept(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "trace.npz")
+        assert path.name == "trace.npz"
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "nope.npz")
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ValueError):
+            load_dataset(path)
+
+    def test_real_extraction_round_trips(self, aodv_udp_trace, tmp_path):
+        from repro.features.extraction import extract_features
+
+        ds = extract_features(aodv_udp_trace, monitor=0)
+        loaded = load_dataset(save_dataset(ds, tmp_path / "real"))
+        np.testing.assert_array_equal(loaded.X, ds.X)
+        assert loaded.feature_names == ds.feature_names

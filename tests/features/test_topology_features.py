@@ -1,0 +1,77 @@
+"""Feature Set I tests (Table 4)."""
+
+import numpy as np
+import pytest
+
+from repro.features.topology import TOPOLOGY_FEATURE_NAMES, topology_features
+from repro.simulation.stats import NodeStats, RouteEventKind
+
+
+def stats_with_route_events():
+    s = NodeStats(0)
+    s.log_route_event(1.0, RouteEventKind.ADD)
+    s.log_route_event(2.0, RouteEventKind.ADD)
+    s.log_route_event(3.0, RouteEventKind.REMOVAL)
+    s.log_route_event(4.0, RouteEventKind.FIND)
+    s.log_route_event(7.0, RouteEventKind.NOTICE)
+    s.log_route_event(8.0, RouteEventKind.REPAIR)
+    s.log_route_length(2.0, 3)
+    s.log_route_length(4.0, 5)
+    return s
+
+
+class TestTopologyFeatures:
+    def test_names_match_table4(self):
+        assert TOPOLOGY_FEATURE_NAMES == [
+            "absolute_velocity",
+            "route_add_count",
+            "route_removal_count",
+            "route_find_count",
+            "route_notice_count",
+            "route_repair_count",
+            "total_route_change",
+            "average_route_length",
+        ]
+
+    def test_counts_per_window(self):
+        s = stats_with_route_events()
+        ticks = np.array([5.0, 10.0])
+        speeds = np.array([1.5, 0.0])
+        X, names = topology_features(s, ticks, speeds, period=5.0)
+        assert X.shape == (2, 8)
+        row0 = dict(zip(names, X[0]))
+        assert row0["absolute_velocity"] == 1.5
+        assert row0["route_add_count"] == 2
+        assert row0["route_removal_count"] == 1
+        assert row0["route_find_count"] == 1
+        assert row0["route_notice_count"] == 0
+        assert row0["route_repair_count"] == 0
+        row1 = dict(zip(names, X[1]))
+        assert row1["route_notice_count"] == 1
+        assert row1["route_repair_count"] == 1
+
+    def test_total_route_change_is_add_plus_removal(self):
+        s = stats_with_route_events()
+        X, names = topology_features(s, np.array([5.0]), np.array([0.0]))
+        row = dict(zip(names, X[0]))
+        assert row["total_route_change"] == row["route_add_count"] + row["route_removal_count"]
+
+    def test_average_route_length_in_window(self):
+        s = stats_with_route_events()
+        X, names = topology_features(s, np.array([5.0]), np.array([0.0]))
+        assert dict(zip(names, X[0]))["average_route_length"] == pytest.approx(4.0)
+
+    def test_route_length_carries_forward_when_no_use(self):
+        s = stats_with_route_events()
+        X, names = topology_features(s, np.array([5.0, 10.0]), np.array([0.0, 0.0]))
+        assert X[1, names.index("average_route_length")] == pytest.approx(4.0)
+
+    def test_route_length_zero_before_any_use(self):
+        s = NodeStats(0)
+        X, names = topology_features(s, np.array([5.0]), np.array([0.0]))
+        assert X[0, names.index("average_route_length")] == 0.0
+
+    def test_speed_shape_mismatch_rejected(self):
+        s = NodeStats(0)
+        with pytest.raises(ValueError):
+            topology_features(s, np.array([5.0, 10.0]), np.array([0.0]))

@@ -1,0 +1,137 @@
+"""Feature Set II tests: the Table 5 grid and its window statistics."""
+
+import numpy as np
+import pytest
+
+from repro.features.traffic import (
+    DEFAULT_SAMPLING_PERIODS,
+    EXCLUDED_COMBOS,
+    TrafficFeatureSpec,
+    _window_counts,
+    _window_iat_std,
+    traffic_feature_grid,
+    traffic_features,
+)
+from repro.simulation.packet import Direction, PacketType
+from repro.simulation.stats import NodeStats
+
+
+class TestGrid:
+    def test_exactly_132_features(self):
+        """(6 x 4 - 2) x 3 x 2 = 132, straight from the paper."""
+        assert len(traffic_feature_grid()) == 132
+
+    def test_excluded_combinations_absent(self):
+        specs = traffic_feature_grid()
+        combos = {(s.packet_type, s.direction) for s in specs}
+        assert ("data", "forwarded") not in combos
+        assert ("data", "dropped") not in combos
+        assert len(combos) == 22
+
+    def test_feature_names_unique(self):
+        names = [s.name for s in traffic_feature_grid()]
+        assert len(set(names)) == len(names)
+
+    def test_paper_encoding_example(self):
+        """'std of inter-packet intervals of received ROUTE REQUEST packets
+        every 5 seconds' encodes as <2, 0, 0, 1> (paper §4.1)."""
+        spec = TrafficFeatureSpec("rreq", "received", 5.0, "iat_std")
+        assert spec.encode() == (2, 0, 0, 1)
+
+    def test_all_periods_present_per_combo(self):
+        specs = traffic_feature_grid()
+        for period in DEFAULT_SAMPLING_PERIODS:
+            assert sum(1 for s in specs if s.period == period) == 44
+
+    def test_custom_periods(self):
+        specs = traffic_feature_grid(periods=(5.0,))
+        assert len(specs) == 44
+
+
+class TestWindowCounts:
+    def test_counts_in_half_open_windows(self):
+        times = np.array([1.0, 2.0, 5.0, 6.0, 10.0])
+        ticks = np.array([5.0, 10.0])
+        counts = _window_counts(times, ticks, period=5.0)
+        # (0,5] -> {1,2,5}; (5,10] -> {6,10}
+        assert counts.tolist() == [3.0, 2.0]
+
+    def test_empty_stream(self):
+        counts = _window_counts(np.array([]), np.array([5.0, 10.0]), 5.0)
+        assert counts.tolist() == [0.0, 0.0]
+
+
+class TestIatStd:
+    def test_uniform_intervals_have_zero_std(self):
+        times = np.arange(0.0, 50.0, 2.0)
+        ticks = np.array([40.0])
+        std = _window_iat_std(times, ticks, period=40.0)
+        assert std[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_matches_numpy_std_of_diffs(self):
+        rng = np.random.default_rng(0)
+        times = np.sort(rng.uniform(0, 100, size=200))
+        ticks = np.array([60.0, 100.0])
+        result = _window_iat_std(times, ticks, period=50.0)
+        for k, t in enumerate(ticks):
+            in_window = times[(times > t - 50.0) & (times <= t)]
+            expected = np.std(np.diff(in_window))
+            assert result[k] == pytest.approx(expected, rel=1e-9)
+
+    def test_fewer_than_three_events_gives_zero(self):
+        assert _window_iat_std(np.array([1.0, 2.0]), np.array([5.0]), 5.0)[0] == 0.0
+        assert _window_iat_std(np.array([1.0]), np.array([5.0]), 5.0)[0] == 0.0
+
+
+class TestTrafficFeatures:
+    def _stats_with_events(self):
+        s = NodeStats(0)
+        for t in (1.0, 2.0, 3.5, 4.0):
+            s.log_packet(t, PacketType.RREQ, Direction.RECEIVED)
+        s.log_packet(2.5, PacketType.DATA, Direction.SENT)
+        s.log_packet(3.0, PacketType.DATA, Direction.FORWARDED)
+        s.log_packet(4.5, PacketType.RREP, Direction.FORWARDED)
+        return s
+
+    def test_matrix_shape(self):
+        s = self._stats_with_events()
+        X, specs = traffic_features(s, np.array([5.0, 10.0]))
+        assert X.shape == (2, 132)
+        assert len(specs) == 132
+
+    def test_rreq_received_count(self):
+        s = self._stats_with_events()
+        X, specs = traffic_features(s, np.array([5.0]))
+        j = [sp.name for sp in specs].index("rreq_received_5s_count")
+        assert X[0, j] == 4.0
+
+    def test_route_all_folds_in_transit_data(self):
+        """Forwarded data counts under route (all), per the paper's
+        encapsulation argument."""
+        s = self._stats_with_events()
+        X, specs = traffic_features(s, np.array([5.0]))
+        names = [sp.name for sp in specs]
+        j = names.index("route_all_forwarded_5s_count")
+        # 1 forwarded RREP + 1 forwarded DATA.
+        assert X[0, j] == 2.0
+
+    def test_route_all_received_excludes_endpoint_data(self):
+        s = self._stats_with_events()
+        X, specs = traffic_features(s, np.array([5.0]))
+        names = [sp.name for sp in specs]
+        j = names.index("route_all_received_5s_count")
+        assert X[0, j] == 4.0  # the RREQs only, not endpoint data
+
+    def test_longer_period_accumulates(self):
+        s = NodeStats(0)
+        for t in range(1, 100):
+            s.log_packet(float(t), PacketType.HELLO, Direction.SENT)
+        X, specs = traffic_features(s, np.array([95.0]), periods=(5.0, 60.0, 900.0))
+        names = [sp.name for sp in specs]
+        c5 = X[0, names.index("hello_sent_5s_count")]
+        c60 = X[0, names.index("hello_sent_60s_count")]
+        c900 = X[0, names.index("hello_sent_900s_count")]
+        assert c5 == 5.0
+        assert c60 == 60.0
+        assert c900 == 95.0  # capped by trace length
+        assert c5 <= c60 <= c900

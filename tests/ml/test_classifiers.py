@@ -1,0 +1,219 @@
+"""Classifier tests: C4.5, RIPPER, naive Bayes on synthetic categorical data."""
+
+import numpy as np
+import pytest
+
+from repro.ml import CLASSIFIERS
+from repro.ml.base import check_categorical
+from repro.ml.decision_tree import C45Classifier, _pessimistic_errors, _z_value
+from repro.ml.naive_bayes import NaiveBayesClassifier
+from repro.ml.ripper import RipperClassifier, Rule
+
+ALL = [C45Classifier, RipperClassifier, NaiveBayesClassifier]
+
+
+def xor_dataset(n=400, noise=0.0, seed=0):
+    """y = x0 XOR x1 with distractor columns — nonlinear, needs real splits."""
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, 2, size=(n, 4))
+    y = X[:, 0] ^ X[:, 1]
+    if noise:
+        flip = rng.random(n) < noise
+        y = np.where(flip, 1 - y, y)
+    return X, y
+
+
+def single_attr_dataset(n=300, seed=1):
+    """y fully determined by one 5-valued attribute."""
+    rng = np.random.default_rng(seed)
+    X = rng.integers(0, 5, size=(n, 3))
+    y = X[:, 1] % 3
+    return X, y
+
+
+class TestCheckCategorical:
+    def test_accepts_float_integers(self):
+        X, y = check_categorical(np.array([[1.0, 2.0]]), np.array([0]))
+        assert X.dtype == np.int64
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            check_categorical(np.array([[0.5]]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_categorical(np.array([[-1]]))
+
+    def test_rejects_wrong_shapes(self):
+        with pytest.raises(ValueError):
+            check_categorical(np.array([1, 2, 3]))
+        with pytest.raises(ValueError):
+            check_categorical(np.array([[1], [2]]), np.array([0]))
+
+
+@pytest.mark.parametrize("cls", ALL, ids=lambda c: c.__name__)
+class TestCommonBehaviour:
+    def test_learns_single_attribute_rule(self, cls):
+        X, y = single_attr_dataset()
+        model = cls().fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_proba_rows_sum_to_one(self, cls):
+        X, y = xor_dataset()
+        model = cls().fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (len(X), 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_proba_in_unit_interval(self, cls):
+        X, y = xor_dataset(noise=0.1)
+        proba = cls().fit(X, y).predict_proba(X)
+        assert (proba >= 0).all() and (proba <= 1).all()
+
+    def test_predict_matches_argmax_proba(self, cls):
+        X, y = xor_dataset(noise=0.05, seed=3)
+        model = cls().fit(X, y)
+        np.testing.assert_array_equal(
+            model.predict(X), np.argmax(model.predict_proba(X), axis=1)
+        )
+
+    def test_single_class_training(self, cls):
+        X = np.zeros((20, 3), dtype=int)
+        y = np.zeros(20, dtype=int)
+        model = cls().fit(X, y)
+        proba = model.predict_proba(X[:2])
+        assert proba.shape == (2, 1)
+        np.testing.assert_allclose(proba, 1.0)
+
+    def test_unseen_attribute_values_do_not_crash(self, cls):
+        X, y = single_attr_dataset()
+        model = cls().fit(X, y)
+        X_far = X.copy()
+        X_far[:, 0] = 99
+        proba = model.predict_proba(X_far[:5])
+        assert np.isfinite(proba).all()
+
+    def test_empty_fit_rejected(self, cls):
+        with pytest.raises(ValueError):
+            cls().fit(np.empty((0, 3), dtype=int), np.empty(0, dtype=int))
+
+    def test_predict_before_fit_rejected(self, cls):
+        with pytest.raises(RuntimeError):
+            cls().predict_proba(np.zeros((1, 3), dtype=int))
+
+
+class TestC45:
+    def test_solves_xor_unlike_naive_bayes(self):
+        """XOR separates tree learners from NB — the paper's C4.5 > NBC."""
+        X, y = xor_dataset()
+        tree_acc = (C45Classifier().fit(X, y).predict(X) == y).mean()
+        nb_acc = (NaiveBayesClassifier().fit(X, y).predict(X) == y).mean()
+        assert tree_acc > 0.99
+        assert nb_acc < tree_acc - 0.2  # NB cannot represent XOR
+
+    def test_pruning_reduces_leaves_on_noise(self):
+        X, y = xor_dataset(n=300, noise=0.25, seed=5)
+        grown = C45Classifier(prune=False).fit(X, y)
+        pruned = C45Classifier(prune=True).fit(X, y)
+        assert pruned.n_leaves <= grown.n_leaves
+
+    def test_max_depth_respected(self):
+        X, y = xor_dataset()
+        model = C45Classifier(max_depth=1, prune=False).fit(X, y)
+        assert model.depth <= 1
+
+    def test_leaf_probabilities_laplace_smoothed(self):
+        X = np.array([[0], [0], [1], [1]])
+        y = np.array([0, 0, 1, 1])
+        proba = C45Classifier(prune=False).fit(X, y).predict_proba(np.array([[0]]))
+        # Leaf has 2 examples of class 0: (2+1)/(2+2) = 0.75.
+        assert proba[0, 0] == pytest.approx(0.75)
+
+    def test_z_value_matches_reference(self):
+        assert _z_value(0.25) == pytest.approx(0.6744897, rel=1e-5)
+        assert _z_value(0.05) == pytest.approx(1.6448536, rel=1e-4)
+
+    def test_pessimistic_errors_increase_with_confidence(self):
+        assert _pessimistic_errors(100, 10, _z_value(0.05)) > _pessimistic_errors(
+            100, 10, _z_value(0.25)
+        )
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            C45Classifier(min_samples_split=1)
+        with pytest.raises(ValueError):
+            C45Classifier(cf=0.7)
+
+
+class TestRipper:
+    def test_rules_are_inspectable(self):
+        X, y = single_attr_dataset()
+        model = RipperClassifier().fit(X, y)
+        assert model.n_rules >= 1
+        for rule in model.rules_:
+            assert str(rule).startswith("IF ")
+            assert rule.class_counts is not None
+
+    def test_rule_covers(self):
+        rule = Rule(target=1, literals=[(0, 2), (1, 3)])
+        X = np.array([[2, 3, 9], [2, 4, 9], [1, 3, 9]])
+        assert rule.covers(X).tolist() == [True, False, False]
+
+    def test_rarest_class_learned_first(self):
+        rng = np.random.default_rng(0)
+        X = rng.integers(0, 3, size=(300, 3))
+        y = np.where(X[:, 0] == 0, 1, 0)  # class 1 is the minority
+        model = RipperClassifier().fit(X, y)
+        assert model.rules_[0].target == 1
+
+    def test_solves_xor(self):
+        X, y = xor_dataset()
+        model = RipperClassifier().fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.9
+
+    def test_max_rules_cap(self):
+        rng = np.random.default_rng(1)
+        X = rng.integers(0, 5, size=(500, 6))
+        y = rng.integers(0, 3, size=500)  # pure noise
+        model = RipperClassifier(max_rules_per_class=2).fit(X, y)
+        assert model.n_rules <= 2 * 3
+
+    def test_invalid_prune_fraction(self):
+        with pytest.raises(ValueError):
+            RipperClassifier(prune_fraction=0.0)
+
+
+class TestNaiveBayes:
+    def test_matches_hand_computed_posterior(self):
+        # P(y=0)=0.5; attribute 0 perfectly informative.
+        X = np.array([[0], [0], [1], [1]])
+        y = np.array([0, 0, 1, 1])
+        model = NaiveBayesClassifier(alpha=1.0).fit(X, y)
+        proba = model.predict_proba(np.array([[0]]))
+        # p(x=0|y=0) = (2+1)/(2+2) = .75 ; p(x=0|y=1) = (0+1)/(2+2) = .25
+        # priors equal -> posterior = .75 / (.75 + .25)
+        assert proba[0, 0] == pytest.approx(0.75)
+
+    def test_laplace_keeps_unseen_combinations_nonzero(self):
+        X = np.array([[0, 0], [1, 1]])
+        y = np.array([0, 1])
+        proba = NaiveBayesClassifier().fit(X, y).predict_proba(np.array([[0, 1]]))
+        assert (proba > 0).all()
+
+    def test_stronger_smoothing_flattens(self):
+        X, y = single_attr_dataset()
+        sharp = NaiveBayesClassifier(alpha=0.1).fit(X, y).predict_proba(X)
+        flat = NaiveBayesClassifier(alpha=100.0).fit(X, y).predict_proba(X)
+        assert flat.max() < sharp.max()
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            NaiveBayesClassifier(alpha=0.0)
+
+
+class TestRegistry:
+    def test_registry_contents(self):
+        assert set(CLASSIFIERS) == {"c45", "ripper", "nbc"}
+        for cls in CLASSIFIERS.values():
+            X, y = single_attr_dataset()
+            assert (cls().fit(X, y).predict(X) == y).mean() > 0.9

@@ -1,0 +1,140 @@
+"""Hypothesis property tests for the classifiers and core data structures."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.discretization import EqualFrequencyDiscretizer
+from repro.core.scoring import average_match_count, average_probability
+from repro.ml import CLASSIFIERS
+
+CLASSIFIER_NAMES = sorted(CLASSIFIERS)
+
+
+@st.composite
+def categorical_dataset(draw):
+    n = draw(st.integers(min_value=5, max_value=60))
+    d = draw(st.integers(min_value=1, max_value=4))
+    k_x = draw(st.integers(min_value=2, max_value=4))
+    k_y = draw(st.integers(min_value=2, max_value=3))
+    X = draw(arrays(np.int64, (n, d), elements=st.integers(0, k_x - 1)))
+    y = draw(arrays(np.int64, (n,), elements=st.integers(0, k_y - 1)))
+    return X, y
+
+
+@pytest.mark.parametrize("name", CLASSIFIER_NAMES)
+class TestClassifierProperties:
+    @given(data=categorical_dataset())
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_proba_is_distribution_on_arbitrary_data(self, name, data):
+        X, y = data
+        model = CLASSIFIERS[name]().fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape == (len(X), int(y.max()) + 1)
+        assert (proba >= 0).all()
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, rtol=1e-8)
+
+    @given(data=categorical_dataset())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_fit_is_deterministic(self, name, data):
+        X, y = data
+        p1 = CLASSIFIERS[name]().fit(X, y).predict_proba(X)
+        p2 = CLASSIFIERS[name]().fit(X, y).predict_proba(X)
+        np.testing.assert_array_equal(p1, p2)
+
+
+class TestDiscretizerProperties:
+    @given(
+        X=arrays(
+            np.float64,
+            st.tuples(st.integers(10, 80), st.integers(1, 5)),
+            elements=st.floats(-1e6, 1e6, allow_nan=False, width=64),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_codes_within_bucket_range(self, X):
+        disc = EqualFrequencyDiscretizer(n_buckets=5)
+        codes = disc.fit_transform(X)
+        assert codes.shape == X.shape
+        assert (codes >= 0).all()
+        assert (codes < disc.n_values()[None, :]).all()
+
+    @given(
+        X=arrays(
+            np.float64,
+            st.tuples(st.integers(20, 60), st.integers(1, 3)),
+            elements=st.floats(-1e4, 1e4, allow_nan=False, width=64),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_each_column(self, X):
+        """Larger raw values never get smaller bucket codes."""
+        disc = EqualFrequencyDiscretizer(n_buckets=5)
+        codes = disc.fit_transform(X)
+        for j in range(X.shape[1]):
+            order = np.argsort(X[:, j], kind="stable")
+            assert (np.diff(codes[order, j]) >= 0).all()
+
+    @given(
+        X=arrays(
+            np.float64,
+            st.tuples(st.integers(25, 60), st.integers(1, 3)),
+            elements=st.floats(0, 1e3, allow_nan=False, width=64),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_training_rows_never_out_of_range(self, X):
+        """The out-of-range bucket is empty on the data that defined it."""
+        disc = EqualFrequencyDiscretizer(n_buckets=5)
+        codes = disc.fit_transform(X)
+        n_values = disc.n_values()
+        for j in range(X.shape[1]):
+            # The top (out-of-range) bucket exists but holds no training row.
+            assert (codes[:, j] < n_values[j] - 1).all() or len(np.unique(X[:, j])) == 1
+
+
+class TestScoringProperties:
+    @given(
+        p=arrays(
+            np.float64,
+            st.tuples(st.integers(1, 30), st.integers(1, 20)),
+            elements=st.floats(0.0, 1.0, width=64),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_average_probability_bounded(self, p):
+        scores = average_probability(p)
+        assert (scores >= 0).all() and (scores <= 1).all()
+
+    @given(
+        m=arrays(
+            np.int64,
+            st.tuples(st.integers(1, 30), st.integers(1, 20)),
+            elements=st.integers(0, 1),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_match_count_equals_probability_special_case(self, m):
+        """Algorithm 2 == Algorithm 3 with 0/1 probabilities (paper §3)."""
+        np.testing.assert_allclose(
+            average_match_count(m), average_probability(m.astype(float))
+        )
+
+    @given(
+        p=arrays(
+            np.float64,
+            st.tuples(st.integers(2, 30), st.integers(1, 15)),
+            elements=st.floats(0.0, 1.0, width=64),
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_monotonicity_in_submodel_outputs(self, p):
+        """Raising any sub-model probability never lowers the score."""
+        base = average_probability(p)
+        boosted = p.copy()
+        boosted[0] = np.minimum(boosted[0] + 0.1, 1.0)
+        assert average_probability(boosted)[0] >= base[0] - 1e-12

@@ -1,0 +1,183 @@
+"""AODV protocol tests on deterministic static topologies."""
+
+import pytest
+
+from repro.routing.aodv import AODV_MAX_SEQ, AodvProtocol, AodvRouteEntry
+from repro.simulation.packet import Direction, PacketType
+from repro.simulation.stats import RouteEventKind
+
+from tests.routing.helpers import Net, line, received_count, sent_count
+
+
+class TestRouteEntry:
+    def test_higher_seq_is_fresher(self):
+        entry = AodvRouteEntry(dest=1, next_hop=2, hops=3, seq=10, expires=100.0)
+        assert entry.fresher_than(seq=5, hops=1)
+        assert not entry.fresher_than(seq=11, hops=9)
+
+    def test_equal_seq_fewer_hops_wins(self):
+        entry = AodvRouteEntry(dest=1, next_hop=2, hops=3, seq=10, expires=100.0)
+        assert entry.fresher_than(seq=10, hops=4)
+        assert not entry.fresher_than(seq=10, hops=2)
+
+    def test_invalid_entry_still_guards_by_sequence(self):
+        """Sequence memory: even an invalid entry rejects stale updates."""
+        entry = AodvRouteEntry(dest=1, next_hop=2, hops=3, seq=10, expires=0.0, valid=False)
+        assert entry.fresher_than(seq=5, hops=1)
+        assert not entry.fresher_than(seq=10, hops=1)  # equal seq revives
+
+
+class TestDiscoveryAndDelivery:
+    def test_one_hop_delivery(self):
+        net = line(2)
+        net.send(0, 1)
+        net.run(5.0)
+        assert net.delivered(1) == 1
+
+    def test_multi_hop_delivery(self):
+        net = line(4)
+        net.send(0, 3)
+        net.run(10.0)
+        assert net.delivered(3) == 1
+
+    def test_discovery_emits_rreq_and_rrep(self):
+        net = line(3)
+        net.send(0, 2)
+        net.run(5.0)
+        assert sent_count(net, 0, PacketType.RREQ) >= 1
+        assert sent_count(net, 2, PacketType.RREP) >= 1
+        assert net.delivered(2) == 1
+
+    def test_intermediate_node_forwards_data(self):
+        net = line(3)
+        net.send(0, 2)
+        net.run(5.0)
+        assert net.stats(1).packet_count(PacketType.DATA, Direction.FORWARDED) == 1
+
+    def test_second_packet_uses_cached_route(self):
+        net = line(3)
+        net.send(0, 2)
+        net.run(5.0)
+        rreqs_before = sent_count(net, 0, PacketType.RREQ)
+        net.send(0, 2)
+        net.run(5.0)
+        assert net.delivered(2) == 2
+        assert sent_count(net, 0, PacketType.RREQ) == rreqs_before
+        assert net.stats(0).route_event_count(RouteEventKind.FIND) >= 1
+
+    def test_route_add_logged_on_discovery(self):
+        net = line(3)
+        net.send(0, 2)
+        net.run(5.0)
+        assert net.stats(0).route_event_count(RouteEventKind.ADD) >= 1
+
+    def test_unreachable_destination_drops_after_retries(self):
+        net = Net([(0, 0), (200, 0), (10_000, 0)])  # node 2 isolated
+        net.send(0, 2)
+        net.run(20.0)
+        assert net.delivered(2) == 0
+        assert net.stats(0).packet_count(PacketType.DATA, Direction.DROPPED) == 1
+
+    def test_delivery_to_self(self):
+        net = line(2)
+        net.send(0, 0)
+        net.run(1.0)
+        assert net.delivered(0) == 1
+
+    def test_route_length_logged(self):
+        net = line(4)
+        net.send(0, 3)
+        net.run(10.0)
+        samples = [hops for _, hops in net.stats(0).route_length_samples]
+        assert samples and samples[0] == 3
+
+
+class TestMaintenance:
+    def test_link_break_triggers_repair_and_removal(self):
+        net = line(3)
+        net.send(0, 2)
+        net.run(5.0)
+        assert net.delivered(2) == 1
+        # Break the 1-2 link: node 2 moves away.
+        net.mobility.move(2, (5000.0, 0.0))
+        net.send(0, 2)
+        net.run(15.0)
+        assert net.stats(1).route_event_count(RouteEventKind.REMOVAL) >= 1
+        assert net.stats(1).route_event_count(RouteEventKind.REPAIR) >= 1
+
+    def test_rerr_emitted_on_break(self):
+        net = line(3)
+        net.send(0, 2)
+        net.run(5.0)
+        net.mobility.move(2, (5000.0, 0.0))
+        net.send(0, 2)
+        net.run(15.0)
+        assert sent_count(net, 1, PacketType.RERR) >= 1
+
+    def test_stale_routes_expire(self):
+        net = line(2, protocol="aodv")
+        net.send(0, 1)
+        net.run(2.0)
+        proto = net.protocols[0]
+        assert any(e.valid for e in proto.table.values())
+        # HELLOs keep refreshing neighbour liveness but route entries to
+        # non-neighbours expire; move node 1 away and wait.
+        net.mobility.move(1, (5000.0, 0.0))
+        net.run(3 * proto.active_route_timeout)
+        assert not any(e.valid for e in proto.table.values())
+
+    def test_hello_messages_flow_between_active_neighbors(self):
+        net = line(2)
+        net.send(0, 1)
+        net.run(10.0)
+        assert sent_count(net, 0, PacketType.HELLO) >= 5
+        assert received_count(net, 1, PacketType.HELLO) >= 5
+
+
+class TestSequenceMemory:
+    def test_poisoned_max_seq_never_heals(self):
+        """The paper's §4.2 observation: a max-sequence route is permanent."""
+        net = line(3)
+        net.send(0, 2)
+        net.run(5.0)
+        victim_route = net.protocols[0].table[2]
+        assert victim_route.seq < AODV_MAX_SEQ
+
+        # Forge a max-seq advert for destination 2 from node 1 (the
+        # "attacker" here) and let node 0 process it.
+        advert = net.protocols[1].forge_route_advert(2)
+        net.nodes[1].broadcast(advert)
+        net.run(2.0)
+        assert net.protocols[0].table[2].seq == AODV_MAX_SEQ
+
+        # Legitimate updates can never displace it now.
+        changed = net.protocols[0]._update_route(2, 2, 1, seq=victim_route.seq + 5)
+        assert not changed
+
+    def test_forged_advert_floods_whole_network(self):
+        net = line(5)
+        # Warm up: some routes exist so nodes process RREQs normally.
+        net.send(0, 4)
+        net.run(10.0)
+        far_rreqs = received_count(net, 3, PacketType.RREQ)
+        advert = net.protocols[0].forge_route_advert(4)
+        net.nodes[0].broadcast(advert)
+        net.run(3.0)
+        # The destination-only flag forces propagation across the chain
+        # (the victim itself does not relay its "own" request, but every
+        # intermediate node does), poisoning distant route tables.
+        assert received_count(net, 3, PacketType.RREQ) > far_rreqs
+        assert net.protocols[3].table[4].seq == AODV_MAX_SEQ
+        assert net.protocols[3].table[4].next_hop == 2  # toward the attacker
+
+
+class TestDropFilter:
+    def test_malicious_node_silently_drops_transit_data(self):
+        net = line(3)
+        net.send(0, 2)
+        net.run(5.0)
+        assert net.delivered(2) == 1
+        net.nodes[1].drop_filter = lambda packet: True
+        net.send(0, 2)
+        net.run(5.0)
+        assert net.delivered(2) == 1  # second packet absorbed

@@ -1,0 +1,51 @@
+"""Tests for shared routing machinery."""
+
+import pytest
+
+from repro.routing.base import PacketBuffer
+from repro.simulation.packet import Packet, PacketType
+
+
+def pkt(dest=1):
+    return Packet(ptype=PacketType.DATA, origin=0, dest=dest)
+
+
+class TestPacketBuffer:
+    def test_add_and_pop_all(self):
+        buf = PacketBuffer()
+        a, b = pkt(), pkt()
+        buf.add(1, a)
+        buf.add(1, b)
+        assert buf.pop_all(1) == [a, b]
+        assert buf.pop_all(1) == []
+
+    def test_per_destination_isolation(self):
+        buf = PacketBuffer()
+        buf.add(1, pkt(1))
+        buf.add(2, pkt(2))
+        assert buf.pending(1) == 1
+        assert buf.pending(2) == 1
+        buf.pop_all(1)
+        assert buf.pending(2) == 1
+
+    def test_overflow_evicts_oldest(self):
+        buf = PacketBuffer(max_per_dest=2)
+        a, b, c = pkt(), pkt(), pkt()
+        assert buf.add(1, a) is None
+        assert buf.add(1, b) is None
+        evicted = buf.add(1, c)
+        assert evicted is a
+        assert buf.pop_all(1) == [b, c]
+
+    def test_len_counts_everything(self):
+        buf = PacketBuffer()
+        buf.add(1, pkt())
+        buf.add(2, pkt())
+        buf.add(2, pkt())
+        assert len(buf) == 3
+
+    def test_destinations(self):
+        buf = PacketBuffer()
+        buf.add(3, pkt())
+        buf.add(9, pkt())
+        assert set(buf.destinations()) == {3, 9}

@@ -1,0 +1,160 @@
+"""OLSR protocol tests on deterministic static topologies."""
+
+import pytest
+
+from repro.routing.olsr import OlsrProtocol
+from repro.simulation.packet import Direction, PacketType
+from repro.simulation.stats import RouteEventKind
+
+from tests.routing.helpers import Net, line, received_count, sent_count
+
+
+def olsr_line(n, **kwargs):
+    return line(n, protocol="olsr", **kwargs)
+
+
+def line_net(positions, **kwargs):
+    return Net(positions, protocol="olsr", **kwargs)
+
+
+# The Net helper only knows aodv/dsr; extend it inline.
+def make(positions_or_n, **kwargs):
+    if isinstance(positions_or_n, int):
+        positions = [(i * 200.0, 0.0) for i in range(positions_or_n)]
+    else:
+        positions = positions_or_n
+    net = Net.__new__(Net)
+    from repro.simulation.engine import Simulator
+    from repro.simulation.medium import WirelessMedium
+    from repro.simulation.mobility import StaticMobility
+    from repro.simulation.node import Node
+    from repro.simulation.stats import TraceRecorder
+
+    net.sim = Simulator(seed=kwargs.get("seed", 0))
+    net.mobility = StaticMobility(list(positions))
+    net.medium = WirelessMedium(net.sim, net.mobility, tx_range=250.0)
+    net.recorder = TraceRecorder(len(positions))
+    net.nodes = [Node(i, net.sim, net.medium, net.recorder[i])
+                 for i in range(len(positions))]
+    net.protocols = [OlsrProtocol(node) for node in net.nodes]
+    return net
+
+
+CONVERGENCE = 20.0  # a few hello/tc rounds
+
+
+class TestNeighborSensing:
+    def test_hellos_flow_periodically(self):
+        net = make(2)
+        net.run(CONVERGENCE)
+        assert sent_count(net, 0, PacketType.HELLO) >= 5
+        assert received_count(net, 1, PacketType.HELLO) >= 5
+
+    def test_neighbors_discovered(self):
+        net = make(3)
+        net.run(CONVERGENCE)
+        assert set(net.protocols[1].neighbors) == {0, 2}
+        assert set(net.protocols[0].neighbors) == {1}
+
+    def test_two_hop_knowledge(self):
+        net = make(3)
+        net.run(CONVERGENCE)
+        their, _ = net.protocols[0].two_hop[1]
+        assert 2 in their
+
+    def test_neighbor_expires_after_silence(self):
+        net = make(2)
+        net.run(CONVERGENCE)
+        assert 1 in net.protocols[0].neighbors
+        net.mobility.move(1, (5000.0, 0.0))
+        net.run(3 * net.protocols[0].neighbor_hold)
+        assert 1 not in net.protocols[0].neighbors
+
+
+class TestMprAndTc:
+    def test_middle_node_is_mpr_on_a_chain(self):
+        net = make(3)
+        net.run(CONVERGENCE)
+        # 0 needs 1 to reach 2: node 1 must be 0's MPR.
+        assert 1 in net.protocols[0].mpr_set
+        assert 0 in net.protocols[1].mpr_selectors
+
+    def test_tc_messages_flood(self):
+        net = make(4)
+        net.run(CONVERGENCE)
+        assert sent_count(net, 1, PacketType.TC) >= 1
+        assert received_count(net, 3, PacketType.TC) >= 1
+
+    def test_topology_learned_from_tc(self):
+        net = make(4)
+        net.run(CONVERGENCE)
+        # Node 0 learns remote links from TC floods.
+        assert any(adv in (1, 2) for (adv, _) in net.protocols[0].topology)
+
+    def test_no_tc_without_selectors(self):
+        net = make(2)  # no 2-hop neighborhood: nobody needs MPRs
+        net.run(CONVERGENCE)
+        assert sent_count(net, 0, PacketType.TC) == 0
+
+
+class TestRouting:
+    def test_proactive_routes_exist_before_data(self):
+        net = make(4)
+        net.run(CONVERGENCE)
+        assert net.protocols[0].routes.get(3) == (1, 3)
+
+    def test_multi_hop_delivery(self):
+        net = make(4)
+        net.run(CONVERGENCE)
+        net.send(0, 3)
+        net.run(5.0)
+        assert net.delivered(3) == 1
+        assert net.stats(1).packet_count(PacketType.DATA, Direction.FORWARDED) == 1
+
+    def test_data_before_convergence_dropped_not_buffered(self):
+        net = make(3)
+        net.send(0, 2)  # t=0: no routes yet
+        net.run(1.0)
+        assert net.delivered(2) == 0
+        assert net.stats(0).packet_count(PacketType.DATA, Direction.DROPPED) == 1
+
+    def test_route_events_logged(self):
+        net = make(4)
+        net.run(CONVERGENCE)
+        assert net.stats(0).route_event_count(RouteEventKind.ADD) >= 3
+        net.send(0, 3)
+        net.run(2.0)
+        assert net.stats(0).route_event_count(RouteEventKind.FIND) >= 1
+
+    def test_topology_change_updates_routes(self):
+        net = make(4)
+        net.run(CONVERGENCE)
+        assert 3 in net.protocols[0].routes
+        net.mobility.move(3, (5000.0, 0.0))
+        net.run(3 * net.protocols[0].topology_hold)
+        assert 3 not in net.protocols[0].routes
+        assert net.stats(0).route_event_count(RouteEventKind.REMOVAL) >= 1
+
+
+class TestForgedTc:
+    def test_forged_tc_bends_routes_to_attacker(self):
+        # Line 0-1-2-3-4: attacker at 1 claims 4 is its selector.
+        net = make(5)
+        net.run(CONVERGENCE)
+        assert net.protocols[0].routes[4][1] == 4  # true distance
+        advert = net.protocols[1].forge_tc_advert([4])
+        net.nodes[1].broadcast(advert)
+        net.run(2.0)
+        # Node 0 now believes 4 is adjacent to 1: distance collapses to 2.
+        assert net.protocols[0].routes[4] == (1, 2)
+
+    def test_forged_topology_expires_and_self_heals(self):
+        """Contrast with AODV: no sequence numbers, the poison ages out."""
+        net = make(5)
+        net.run(CONVERGENCE)
+        advert = net.protocols[1].forge_tc_advert([4])
+        net.nodes[1].broadcast(advert)
+        net.run(2.0)
+        assert net.protocols[0].routes[4] == (1, 2)
+        net.run(2 * net.protocols[0].topology_hold)
+        assert net.protocols[0].routes[4][1] == 4  # healed

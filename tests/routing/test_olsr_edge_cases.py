@@ -1,0 +1,109 @@
+"""OLSR edge cases: MPR cover property, TC dedup, link-failure reaction."""
+
+import math
+import random
+
+import pytest
+
+from repro.simulation.packet import Direction, PacketType
+
+from tests.routing.test_olsr import CONVERGENCE, make
+
+
+class TestMprCoverProperty:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mprs_cover_entire_two_hop_neighborhood(self, seed):
+        """RFC 3626: the MPR set must reach every strict 2-hop neighbor."""
+        rng = random.Random(seed)
+        positions = [(rng.uniform(0, 600), rng.uniform(0, 600)) for _ in range(8)]
+        net = make(positions)
+        net.run(CONVERGENCE)
+        for proto in net.protocols:
+            neighbors = set(proto.neighbors)
+            two_hop = set()
+            for n, (their, _) in proto.two_hop.items():
+                if n in neighbors:
+                    two_hop |= their
+            strict = two_hop - neighbors - {proto.node_id}
+            covered = set()
+            for mpr in proto.mpr_set:
+                their, _ = proto.two_hop.get(mpr, (frozenset(), 0.0))
+                covered |= their
+            assert strict <= covered, (proto.node_id, strict - covered)
+
+
+class TestTcDeduplication:
+    def test_duplicate_tc_processed_once(self):
+        net = make(4)
+        net.run(CONVERGENCE)
+        proto = net.protocols[3]
+        topo_before = dict(proto.topology)
+        forwarded_before = net.stats(3).packet_count(
+            PacketType.TC, Direction.FORWARDED
+        )
+        advert = net.protocols[0].forge_tc_advert([2])
+        # Deliver the *same* TC twice.
+        proto._handle_tc(advert, from_id=2)
+        proto._handle_tc(advert, from_id=2)
+        net.run(1.0)
+        # Processed once: at most one forwarding burst, single topology entry.
+        assert (0, 2) in proto.topology
+        assert net.stats(3).packet_count(PacketType.TC, Direction.FORWARDED) <= \
+            forwarded_before + 1
+
+    def test_fresh_sequence_processed_again(self):
+        net = make(4)
+        net.run(CONVERGENCE)
+        proto = net.protocols[3]
+        a1 = net.protocols[0].forge_tc_advert([2])
+        a2 = net.protocols[0].forge_tc_advert([2])
+        assert a1.info["tc_seq"] != a2.info["tc_seq"]
+        proto._handle_tc(a1, from_id=2)
+        expiry_1 = proto.topology[(0, 2)]
+        net.run(2.0)
+        proto._handle_tc(a2, from_id=2)
+        assert proto.topology[(0, 2)] >= expiry_1
+
+
+class TestLinkFailureReaction:
+    def test_mac_feedback_prunes_neighbor_immediately(self):
+        net = make(3)
+        net.run(CONVERGENCE)
+        net.send(0, 2)
+        net.run(2.0)
+        assert net.delivered(2) == 1
+        # Node 1 vanishes; the next data transmission fails at the MAC.
+        net.mobility.move(1, (10_000.0, 0.0))
+        net.send(0, 2)
+        net.run(2.0)
+        # Node 0 dropped the neighbor well before the hold time expired.
+        assert 1 not in net.protocols[0].neighbors
+
+    def test_failed_forward_logged_as_drop(self):
+        net = make(3)
+        net.run(CONVERGENCE)
+        net.mobility.move(2, (10_000.0, 0.0))
+        net.send(0, 2)
+        net.run(3.0)
+        total_drops = sum(
+            net.stats(i).packet_count(PacketType.DATA, Direction.DROPPED)
+            for i in range(3)
+        )
+        assert total_drops >= 1
+
+
+class TestForgedTcEdgeCases:
+    def test_empty_victim_list_is_harmless(self):
+        net = make(3)
+        net.run(CONVERGENCE)
+        advert = net.protocols[0].forge_tc_advert([])
+        net.nodes[0].broadcast(advert)
+        net.run(2.0)  # nothing to poison, no crash
+
+    def test_tc_about_self_ignored(self):
+        net = make(3)
+        net.run(CONVERGENCE)
+        advert = net.protocols[0].forge_tc_advert([2])
+        net.protocols[2]._handle_tc(advert, from_id=1)
+        # Node 2 never records a topology edge pointing at itself.
+        assert (0, 2) not in net.protocols[2].topology

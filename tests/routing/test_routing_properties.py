@@ -1,0 +1,124 @@
+"""Property-based routing tests: invariants over random static topologies.
+
+For arbitrary connected placements and traffic patterns, the protocols
+must preserve trace-accounting invariants: nothing is delivered that was
+not sent, per-node streams stay time-ordered, and on a connected static
+topology (no mobility, no loss) every destination is eventually reached.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.packet import Direction, PacketType
+
+from tests.routing.helpers import Net
+
+RANGE = 250.0
+
+
+def connected(positions):
+    """Is the unit-disc graph over ``positions`` connected?"""
+    n = len(positions)
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        i = frontier.pop()
+        xi, yi = positions[i]
+        for j in range(n):
+            if j in seen:
+                continue
+            xj, yj = positions[j]
+            if math.hypot(xj - xi, yj - yi) <= RANGE:
+                seen.add(j)
+                frontier.append(j)
+    return len(seen) == n
+
+
+@st.composite
+def connected_topology(draw):
+    """3-7 nodes placed randomly, filtered to connected layouts."""
+    n = draw(st.integers(3, 7))
+    positions = [
+        (draw(st.floats(0, 700, allow_nan=False)),
+         draw(st.floats(0, 700, allow_nan=False)))
+        for _ in range(n)
+    ]
+    if not connected(positions):
+        # Collapse toward a line to guarantee connectivity.
+        positions = [(i * 150.0, 0.0) for i in range(n)]
+    return positions
+
+
+@st.composite
+def traffic_pattern(draw):
+    positions = draw(connected_topology())
+    n = len(positions)
+    n_flows = draw(st.integers(1, 5))
+    flows = [
+        (draw(st.integers(0, n - 1)), draw(st.integers(0, n - 1)))
+        for _ in range(n_flows)
+    ]
+    flows = [(s, d) for s, d in flows if s != d]
+    return positions, flows
+
+
+@pytest.mark.parametrize("protocol", ["aodv", "dsr"])
+class TestRoutingInvariants:
+    @given(data=traffic_pattern())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_conservation_and_ordering(self, protocol, data):
+        positions, flows = data
+        net = Net(positions, protocol=protocol)
+        for src, dst in flows:
+            net.send(src, dst)
+        net.run(30.0)
+
+        total_sent = sum(
+            net.stats(i).packet_count(PacketType.DATA, Direction.SENT)
+            for i in range(len(positions))
+        )
+        total_received = sum(
+            net.stats(i).packet_count(PacketType.DATA, Direction.RECEIVED)
+            for i in range(len(positions))
+        )
+        # Conservation: nothing delivered that was never sent.
+        assert total_received <= total_sent
+        assert total_sent == len(flows)
+
+        # Every per-node stream is time-ordered.
+        for i in range(len(positions)):
+            for times in net.stats(i).packet_times.values():
+                assert all(a <= b for a, b in zip(times, times[1:]))
+
+    @given(data=traffic_pattern())
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_connected_static_topology_delivers_everything(self, protocol, data):
+        positions, flows = data
+        net = Net(positions, protocol=protocol)
+        for src, dst in flows:
+            net.send(src, dst)
+        net.run(60.0)
+        delivered = sum(net.delivered(i) for i in range(len(positions)))
+        assert delivered == len(flows)
+
+    @given(data=traffic_pattern())
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_route_lengths_are_feasible(self, protocol, data):
+        """Every used route (at sources *and* relays) is a plausible
+        path length for the topology: at least one hop, at most the node
+        count minus one."""
+        positions, flows = data
+        n = len(positions)
+        net = Net(positions, protocol=protocol)
+        for src, dst in flows:
+            net.send(src, dst)
+        net.run(60.0)
+        for i in range(n):
+            for _, hops in net.stats(i).route_length_samples:
+                assert 1 <= hops <= n - 1

@@ -1,0 +1,114 @@
+"""Hypothesis properties of the event kernel and routing data structures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing.aodv import AodvRouteEntry
+from repro.routing.dsr import RouteCache
+from repro.simulation.engine import Simulator
+
+
+class TestEngineProperties:
+    @given(delays=st.lists(st.floats(0.0, 1000.0, allow_nan=False), min_size=1,
+                           max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_execution_order_is_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for k, delay in enumerate(delays):
+            sim.schedule(delay, lambda d=delay: fired.append(d))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(
+        delays=st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=2,
+                        max_size=30),
+        cancel_mask=st.lists(st.booleans(), min_size=2, max_size=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cancellation_removes_exactly_the_cancelled(self, delays, cancel_mask):
+        sim = Simulator()
+        fired = []
+        events = [sim.schedule(d, lambda i=i: fired.append(i))
+                  for i, d in enumerate(delays)]
+        cancelled = set()
+        for i, (event, cancel) in enumerate(zip(events, cancel_mask)):
+            if cancel:
+                event.cancel()
+                cancelled.add(i)
+        sim.run()
+        assert set(fired) == set(range(len(delays))) - cancelled
+
+    @given(until=st.floats(0.0, 500.0, allow_nan=False),
+           delays=st.lists(st.floats(0.0, 1000.0, allow_nan=False), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_run_until_boundary(self, until, delays):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda d=d: fired.append(d))
+        sim.run(until=until)
+        assert all(d <= until for d in fired)
+        assert sim.now >= until or not delays
+
+
+class TestRouteCacheProperties:
+    @given(
+        paths=st.lists(
+            st.lists(st.integers(1, 9), min_size=1, max_size=5, unique=True),
+            min_size=1, max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_get_returns_shortest_cached(self, paths):
+        cache = RouteCache(owner=0, max_paths_per_dest=100)
+        by_dest = {}
+        for path in paths:
+            dest = path[-1]
+            cache.add(dest, tuple(path), now=0.0)
+            by_dest.setdefault(dest, []).append(tuple(path))
+        for dest, candidates in by_dest.items():
+            got = cache.get(dest, now=1.0)
+            assert got in candidates
+            assert len(got) == min(len(p) for p in candidates)
+
+    @given(
+        path=st.lists(st.integers(1, 9), min_size=2, max_size=5, unique=True),
+        link_index=st.integers(0, 3),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_remove_link_removes_paths_using_it(self, path, link_index):
+        cache = RouteCache(owner=0)
+        dest = path[-1]
+        cache.add(dest, tuple(path), now=0.0)
+        full = (0, *path)
+        link_index = min(link_index, len(full) - 2)
+        cache.remove_link(full[link_index], full[link_index + 1])
+        assert cache.get(dest, now=1.0) is None
+
+
+class TestAodvEntryProperties:
+    @given(seq_a=st.integers(0, 100), seq_b=st.integers(0, 100),
+           hops_a=st.integers(1, 10), hops_b=st.integers(1, 10))
+    @settings(max_examples=100, deadline=None)
+    def test_freshness_is_antisymmetric_for_valid_entries(
+        self, seq_a, seq_b, hops_a, hops_b
+    ):
+        a = AodvRouteEntry(dest=1, next_hop=2, hops=hops_a, seq=seq_a, expires=10.0)
+        if a.fresher_than(seq_b, hops_b):
+            # A strictly fresher entry's parameters must not also beat A,
+            # except for the reflexive tie (equal seq and hops).
+            b = AodvRouteEntry(dest=1, next_hop=3, hops=hops_b, seq=seq_b, expires=10.0)
+            if not (seq_a == seq_b and hops_a == hops_b):
+                assert not (b.fresher_than(seq_a, hops_a)
+                            and (seq_b, hops_b) != (seq_a, hops_a)) or (
+                    seq_a == seq_b
+                )
+
+    @given(seq=st.integers(0, 100), hops=st.integers(1, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_equal_update_never_beats_valid_entry(self, seq, hops):
+        entry = AodvRouteEntry(dest=1, next_hop=2, hops=hops, seq=seq, expires=10.0)
+        assert entry.fresher_than(seq, hops)

@@ -1,0 +1,92 @@
+"""Unit tests for random-waypoint mobility."""
+
+import math
+import random
+
+import pytest
+
+from repro.simulation.mobility import RandomWaypointMobility, StaticMobility
+
+
+@pytest.fixture
+def model():
+    return RandomWaypointMobility(
+        n_nodes=5, area=(1000.0, 1000.0), max_speed=20.0, pause_time=10.0,
+        rng=random.Random(3),
+    )
+
+
+class TestRandomWaypoint:
+    def test_positions_stay_inside_area(self, model):
+        for t in range(0, 2000, 7):
+            for node in range(5):
+                x, y = model.position(node, float(t))
+                assert 0 <= x <= 1000
+                assert 0 <= y <= 1000
+
+    def test_speed_bounded_by_max(self, model):
+        for t in range(0, 2000, 13):
+            for node in range(5):
+                assert 0.0 <= model.speed(node, float(t)) <= 20.0
+
+    def test_position_continuous_over_time(self, model):
+        """Displacement between close instants is bounded by max speed."""
+        for node in range(5):
+            prev = model.position(node, 100.0)
+            for k in range(1, 50):
+                t = 100.0 + 0.5 * k
+                cur = model.position(node, t)
+                dist = math.hypot(cur[0] - prev[0], cur[1] - prev[1])
+                assert dist <= 20.0 * 0.5 + 1e-9
+                prev = cur
+
+    def test_node_eventually_moves(self, model):
+        start = model.position(0, 0.0)
+        later = model.position(0, 500.0)
+        assert start != later
+
+    def test_speed_zero_while_paused(self):
+        # With a huge pause time the node finishes one leg (bounded by the
+        # field diagonal over the minimum speed) and then pauses forever.
+        m = RandomWaypointMobility(n_nodes=1, pause_time=1e9, rng=random.Random(0))
+        t_late = 2 * 1500.0 / 0.5  # diagonal / min_speed, with margin
+        assert m.speed(0, t_late) == 0.0
+        assert m.position(0, t_late) == m.position(0, t_late + 1000.0)
+
+    def test_queries_must_not_go_backwards_incoherently(self, model):
+        """Lazy advancement: repeated queries at the same time agree."""
+        p1 = model.position(2, 300.0)
+        p2 = model.position(2, 300.0)
+        assert p1 == p2
+
+    def test_distance_symmetric(self, model):
+        assert model.distance(0, 1, 50.0) == pytest.approx(model.distance(1, 0, 50.0))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(n_nodes=0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(n_nodes=2, min_speed=0.0)
+        with pytest.raises(ValueError):
+            RandomWaypointMobility(n_nodes=2, min_speed=5.0, max_speed=1.0)
+
+
+class TestStaticMobility:
+    def test_positions_fixed(self):
+        m = StaticMobility([(0.0, 0.0), (100.0, 0.0)])
+        assert m.position(0, 0.0) == (0.0, 0.0)
+        assert m.position(0, 1e6) == (0.0, 0.0)
+        assert m.speed(1, 50.0) == 0.0
+
+    def test_move_teleports(self):
+        m = StaticMobility([(0.0, 0.0), (100.0, 0.0)])
+        m.move(1, (500.0, 500.0))
+        assert m.position(1, 0.0) == (500.0, 500.0)
+
+    def test_distance(self):
+        m = StaticMobility([(0.0, 0.0), (3.0, 4.0)])
+        assert m.distance(0, 1, 0.0) == pytest.approx(5.0)
+
+    def test_empty_positions_rejected(self):
+        with pytest.raises(ValueError):
+            StaticMobility([])

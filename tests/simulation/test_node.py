@@ -1,0 +1,90 @@
+"""Node plumbing tests: wiring, agent demux, attack hooks."""
+
+import pytest
+
+from repro.simulation.engine import Simulator
+from repro.simulation.medium import WirelessMedium
+from repro.simulation.mobility import StaticMobility
+from repro.simulation.node import Node
+from repro.simulation.packet import Direction, Packet, PacketType
+from repro.simulation.stats import NodeStats
+
+from tests.routing.helpers import line
+
+
+def bare_node():
+    sim = Simulator()
+    medium = WirelessMedium(sim, StaticMobility([(0.0, 0.0)]))
+    return Node(0, sim, medium, NodeStats(0)), sim
+
+
+class TestWiring:
+    def test_send_without_routing_rejected(self):
+        node, _ = bare_node()
+        with pytest.raises(RuntimeError):
+            node.send_data(1)
+
+    def test_double_routing_install_rejected(self):
+        net = line(2)
+        from repro.routing.aodv import AodvProtocol
+        with pytest.raises(RuntimeError):
+            AodvProtocol(net.nodes[0])
+
+    def test_position_and_speed_passthrough(self):
+        node, _ = bare_node()
+        assert node.position == (0.0, 0.0)
+        assert node.speed == 0.0
+
+
+class TestDataAccounting:
+    def test_send_logs_data_sent(self):
+        net = line(2)
+        net.send(0, 1)
+        net.run(2.0)
+        assert net.stats(0).packet_count(PacketType.DATA, Direction.SENT) == 1
+        assert net.nodes[0].data_originated == 1
+
+    def test_deliver_logs_data_received(self):
+        net = line(2)
+        net.send(0, 1)
+        net.run(2.0)
+        assert net.stats(1).packet_count(PacketType.DATA, Direction.RECEIVED) == 1
+        assert net.nodes[1].data_delivered == 1
+
+    def test_info_passed_through_to_packet(self):
+        net = line(2)
+        received = []
+
+        class Agent:
+            def on_receive(self, packet):
+                received.append(packet.info.get("tcp_seq"))
+
+        net.nodes[1].register_agent(7, Agent())
+        net.nodes[0].send_data(1, flow_id=7, info={"tcp_seq": 42})
+        net.run(2.0)
+        assert received == [42]
+
+    def test_unknown_flow_delivered_without_agent(self):
+        net = line(2)
+        net.nodes[0].send_data(1, flow_id=99)
+        net.run(2.0)
+        assert net.nodes[1].data_delivered == 1  # no agent, still counted
+
+
+class TestDropFilterHook:
+    def test_should_drop_defaults_false(self):
+        node, _ = bare_node()
+        packet = Packet(ptype=PacketType.DATA, origin=0, dest=1)
+        assert not node.should_drop(packet)
+
+    def test_filter_consulted(self):
+        node, _ = bare_node()
+        node.drop_filter = lambda p: p.dest == 3
+        assert node.should_drop(Packet(ptype=PacketType.DATA, origin=0, dest=3))
+        assert not node.should_drop(Packet(ptype=PacketType.DATA, origin=0, dest=4))
+
+    def test_filter_removable(self):
+        node, _ = bare_node()
+        node.drop_filter = lambda p: True
+        node.drop_filter = None
+        assert not node.should_drop(Packet(ptype=PacketType.DATA, origin=0, dest=1))

@@ -1,0 +1,36 @@
+"""Unit tests for the packet model."""
+
+from repro.simulation.packet import BROADCAST, Direction, Packet, PacketType
+
+
+class TestPacket:
+    def test_uids_unique(self):
+        a = Packet(ptype=PacketType.DATA, origin=0, dest=1)
+        b = Packet(ptype=PacketType.DATA, origin=0, dest=1)
+        assert a.uid != b.uid
+
+    def test_copy_gets_fresh_uid_and_independent_info(self):
+        a = Packet(ptype=PacketType.RREQ, origin=0, dest=BROADCAST, info={"route": [0]})
+        b = a.copy()
+        assert b.uid != a.uid
+        b.info["route"] = [0, 1]
+        assert a.info["route"] == [0]
+
+    def test_copy_preserves_header_fields(self):
+        a = Packet(ptype=PacketType.RREP, origin=3, dest=7, size=44, ttl=9,
+                   hops=2, flow_id=12)
+        b = a.copy()
+        assert (b.ptype, b.origin, b.dest, b.size, b.ttl, b.hops, b.flow_id) == (
+            PacketType.RREP, 3, 7, 44, 9, 2, 12)
+
+    def test_is_control(self):
+        assert not Packet(ptype=PacketType.DATA, origin=0, dest=1).is_control
+        for pt in (PacketType.RREQ, PacketType.RREP, PacketType.RERR, PacketType.HELLO):
+            assert Packet(ptype=pt, origin=0, dest=1).is_control
+
+    def test_type_and_direction_vocabulary_matches_paper(self):
+        """Table 5's concrete types are all present (TC is the OLSR
+        extension, folded into 'route (all)'), with 4 flow directions."""
+        assert {p.name for p in PacketType} >= {"DATA", "RREQ", "RREP", "RERR", "HELLO"}
+        assert len(Direction) == 4
+        assert {d.name for d in Direction} == {"RECEIVED", "SENT", "FORWARDED", "DROPPED"}

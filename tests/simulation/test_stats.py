@@ -1,0 +1,67 @@
+"""Unit tests for trace logging."""
+
+from repro.simulation.packet import Direction, Packet, PacketType
+from repro.simulation.stats import NodeStats, RouteEventKind, TraceRecorder
+
+
+class TestNodeStats:
+    def test_packet_count_by_type_and_direction(self):
+        s = NodeStats(0)
+        s.log_packet(1.0, PacketType.DATA, Direction.SENT)
+        s.log_packet(2.0, PacketType.DATA, Direction.SENT)
+        s.log_packet(3.0, PacketType.RREQ, Direction.RECEIVED)
+        assert s.packet_count(PacketType.DATA, Direction.SENT) == 2
+        assert s.packet_count(PacketType.RREQ, Direction.RECEIVED) == 1
+        assert s.packet_count(PacketType.RREP, Direction.SENT) == 0
+
+    def test_packet_count_wildcards(self):
+        s = NodeStats(0)
+        s.log_packet(1.0, PacketType.DATA, Direction.SENT)
+        s.log_packet(2.0, PacketType.RREQ, Direction.SENT)
+        s.log_packet(3.0, PacketType.RREQ, Direction.RECEIVED)
+        assert s.packet_count(direction=Direction.SENT) == 2
+        assert s.packet_count(ptype=PacketType.RREQ) == 2
+        assert s.packet_count() == 3
+
+    def test_window_is_half_open(self):
+        """Windows are (start, end]: the start instant is excluded."""
+        s = NodeStats(0)
+        s.log_packet(5.0, PacketType.DATA, Direction.SENT)
+        s.log_packet(10.0, PacketType.DATA, Direction.SENT)
+        assert s.packet_count(PacketType.DATA, Direction.SENT, start=5.0, end=10.0) == 1
+
+    def test_route_event_count_in_window(self):
+        s = NodeStats(0)
+        for t in (1.0, 2.0, 8.0):
+            s.log_route_event(t, RouteEventKind.ADD)
+        assert s.route_event_count(RouteEventKind.ADD, 0.0, 5.0) == 2
+        assert s.route_event_count(RouteEventKind.ADD) == 3
+        assert s.route_event_count(RouteEventKind.REMOVAL) == 0
+
+    def test_route_length_samples_recorded(self):
+        s = NodeStats(0)
+        s.log_route_length(1.0, 3)
+        s.log_route_length(2.0, 5)
+        assert s.route_length_samples == [(1.0, 3), (2.0, 5)]
+
+    def test_all_kind_streams_exist(self):
+        s = NodeStats(0)
+        for kind in RouteEventKind:
+            assert s.route_event_count(kind) == 0
+        for ptype in PacketType:
+            for direction in Direction:
+                assert s.packet_count(ptype, direction) == 0
+
+
+class TestTraceRecorder:
+    def test_indexing_and_len(self):
+        rec = TraceRecorder(4)
+        assert len(rec) == 4
+        assert rec[2].node_id == 2
+
+    def test_total_packets_sums_all_nodes(self):
+        rec = TraceRecorder(2)
+        rec[0].log_packet(1.0, PacketType.DATA, Direction.SENT)
+        rec[1].log_packet(1.0, PacketType.DATA, Direction.RECEIVED)
+        rec[1].log_packet(2.0, PacketType.HELLO, Direction.SENT)
+        assert rec.total_packets() == 3

@@ -1,0 +1,121 @@
+"""Traffic-agent tests: CBR, simplified TCP, connection patterns."""
+
+import math
+import random
+
+import pytest
+
+from repro.simulation.packet import PacketType
+from repro.traffic.cbr import CbrSink, CbrSource
+from repro.traffic.connections import generate_connections
+from repro.traffic.tcp import TcpSink, TcpSource
+
+from tests.routing.helpers import Net, line
+
+
+class TestConnections:
+    def test_count_respects_maximum(self):
+        conns = generate_connections(10, 20, random.Random(0))
+        assert len(conns) == 20
+
+    def test_capped_by_possible_pairs(self):
+        conns = generate_connections(3, 100, random.Random(0))
+        assert len(conns) == 6  # 3 * 2 ordered pairs
+
+    def test_pairs_distinct_and_loop_free(self):
+        conns = generate_connections(8, 30, random.Random(1))
+        pairs = [(c.src, c.dst) for c in conns]
+        assert len(set(pairs)) == len(pairs)
+        assert all(c.src != c.dst for c in conns)
+
+    def test_start_times_within_window(self):
+        conns = generate_connections(10, 20, random.Random(2), start_window=90.0)
+        assert all(0 <= c.start <= 90.0 for c in conns)
+
+    def test_flow_ids_unique(self):
+        conns = generate_connections(10, 20, random.Random(3))
+        ids = [c.flow_id for c in conns]
+        assert len(set(ids)) == len(ids)
+
+    def test_deterministic_for_seed(self):
+        a = generate_connections(10, 15, random.Random(7))
+        b = generate_connections(10, 15, random.Random(7))
+        assert a == b
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            generate_connections(1, 5, random.Random(0))
+
+
+class TestCbr:
+    def test_rate_of_quarter_sends_every_four_seconds(self):
+        net = line(2)
+        src = CbrSource(net.nodes[0], dest=1, flow_id=0, rate=0.25, start=0.0,
+                        stop=100.0, jitter=0.0)
+        sink = CbrSink(net.nodes[1], flow_id=0)
+        net.run(100.0)
+        assert src.sent == pytest.approx(25, abs=2)
+        assert sink.received == pytest.approx(src.sent, abs=3)
+
+    def test_stop_time_honoured(self):
+        net = line(2)
+        src = CbrSource(net.nodes[0], dest=1, flow_id=0, rate=1.0, start=0.0, stop=10.0)
+        CbrSink(net.nodes[1], flow_id=0)
+        net.run(50.0)
+        assert src.sent <= 11
+
+    def test_invalid_rate_rejected(self):
+        net = line(2)
+        with pytest.raises(ValueError):
+            CbrSource(net.nodes[0], dest=1, flow_id=0, rate=0.0)
+
+
+class TestTcp:
+    def test_bulk_transfer_delivers_in_order(self):
+        net = line(3)
+        TcpSource(net.nodes[0], dest=2, flow_id=0, start=0.0, stop=30.0)
+        sink = TcpSink(net.nodes[2], peer=0, flow_id=0)
+        net.run(40.0)
+        assert sink.delivered > 10
+        assert sink.expected == sink.delivered  # cumulative, in order
+
+    def test_acks_flow_back(self):
+        net = line(2)
+        src = TcpSource(net.nodes[0], dest=1, flow_id=0, start=0.0, stop=20.0)
+        TcpSink(net.nodes[1], peer=0, flow_id=0)
+        net.run(30.0)
+        assert src.send_base > 0  # ACKs advanced the window
+
+    def test_retransmission_after_blackout(self):
+        net = line(3)
+        src = TcpSource(net.nodes[0], dest=2, flow_id=0, start=0.0, stop=60.0)
+        sink = TcpSink(net.nodes[2], peer=0, flow_id=0)
+        net.run(10.0)
+        delivered_before = sink.delivered
+        # Short blackout: relay vanishes, then comes back.
+        net.mobility.move(1, (5000.0, 0.0))
+        net.run(15.0)
+        net.mobility.move(1, (200.0, 0.0))
+        net.run(35.0)
+        assert src.timeouts >= 1
+        assert sink.delivered > delivered_before  # recovered and progressed
+
+    def test_app_rate_limits_volume(self):
+        net = line(2)
+        src = TcpSource(net.nodes[0], dest=1, flow_id=0, start=0.0, stop=50.0,
+                        app_rate=1.0)
+        TcpSink(net.nodes[1], peer=0, flow_id=0)
+        net.run(60.0)
+        assert src.segments_sent <= 55  # ~1 pkt/s + retransmissions
+
+    def test_cwnd_grows_from_slow_start(self):
+        net = line(2)
+        src = TcpSource(net.nodes[0], dest=1, flow_id=0, start=0.0, stop=30.0)
+        TcpSink(net.nodes[1], peer=0, flow_id=0)
+        net.run(30.0)
+        assert src.cwnd > 1.0
+
+    def test_invalid_app_rate_rejected(self):
+        net = line(2)
+        with pytest.raises(ValueError):
+            TcpSource(net.nodes[0], dest=1, flow_id=0, app_rate=-1.0)
