@@ -17,10 +17,9 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
-from repro.eval.experiments import cached_bundle, cached_result
 from repro.eval.metrics import recall_precision_at
 
-from benchmarks.conftest import BENCH_PLAN, print_header
+from benchmarks.conftest import BENCH_PLAN, RUNTIME, print_header
 
 PLAN = replace(BENCH_PLAN, protocol="aodv", transport="udp")
 
@@ -28,7 +27,7 @@ PLAN = replace(BENCH_PLAN, protocol="aodv", transport="udp")
 def test_ablation_scoring_rules(benchmark):
     results = benchmark.pedantic(
         lambda: {
-            method: cached_result(PLAN, classifier="c45", method=method)
+            method: RUNTIME.detect(PLAN, classifier="c45", method=method)
             for method in ("match_count", "avg_probability", "calibrated_probability")
         },
         rounds=1, iterations=1,
@@ -48,7 +47,7 @@ def test_ablation_scoring_rules(benchmark):
 def test_ablation_number_of_submodels(benchmark):
     results = benchmark.pedantic(
         lambda: {
-            k: cached_result(PLAN, classifier="c45", max_models=k)
+            k: RUNTIME.detect(PLAN, classifier="c45", max_models=k)
             for k in (10, 35, 70, None)
         },
         rounds=1, iterations=1,
@@ -66,7 +65,7 @@ def test_ablation_number_of_submodels(benchmark):
 def test_ablation_bucket_count(benchmark):
     results = benchmark.pedantic(
         lambda: {
-            b: cached_result(PLAN, classifier="c45", n_buckets=b)
+            b: RUNTIME.detect(PLAN, classifier="c45", n_buckets=b)
             for b in (3, 5, 10)
         },
         rounds=1, iterations=1,
@@ -84,7 +83,7 @@ def test_ablation_sampling_periods(benchmark):
         "5/60/900s": PLAN,
     }
     results = benchmark.pedantic(
-        lambda: {name: cached_result(p, classifier="c45") for name, p in plans.items()},
+        lambda: {name: RUNTIME.detect(p, classifier="c45") for name, p in plans.items()},
         rounds=1, iterations=1,
     )
     print_header("Ablation: sampling-period grid (Table 5 dimension)")
@@ -96,7 +95,7 @@ def test_ablation_sampling_periods(benchmark):
 
 
 def test_ablation_false_alarm_budget(benchmark):
-    res = cached_result(PLAN, classifier="c45")
+    res = RUNTIME.detect(PLAN, classifier="c45")
 
     def sweep():
         out = {}

@@ -14,15 +14,14 @@ are recorded in EXPERIMENTS.md.
 
 import pytest
 
-from repro.eval.experiments import cached_bundle, cached_result
 
-from benchmarks.conftest import CLASSIFIER_ORDER, SCENARIOS, print_header
+from benchmarks.conftest import CLASSIFIER_ORDER, RUNTIME, SCENARIOS, print_header
 
 
 @pytest.fixture(scope="module")
 def all_results():
     return {
-        name: {clf: cached_result(plan, classifier=clf) for clf in CLASSIFIER_ORDER}
+        name: {clf: RUNTIME.detect(plan, classifier=clf) for clf in CLASSIFIER_ORDER}
         for name, plan in SCENARIOS.items()
     }
 
@@ -32,7 +31,7 @@ def test_figure1_recall_precision_curves(benchmark, all_results):
     # the already-trained C4.5 detector (the simulation/training pipeline
     # is shared session state).
     plan = SCENARIOS["aodv/udp"]
-    bundle = cached_bundle(plan)
+    bundle = RUNTIME.bundle(plan)
 
     def score_only():
         from repro.eval.experiments import run_detection_experiment

@@ -10,9 +10,8 @@ and 3, uncalibrated) so the comparison is exactly the paper's.
 
 import pytest
 
-from repro.eval.experiments import cached_result
 
-from benchmarks.conftest import SCENARIOS, print_header
+from benchmarks.conftest import RUNTIME, SCENARIOS, print_header
 
 #: The scenarios Figure 2 panels show (all four in the paper).
 PANELS = ("aodv/udp", "aodv/tcp", "dsr/udp", "dsr/tcp")
@@ -24,8 +23,8 @@ def ripper_results():
     for name in PANELS:
         plan = SCENARIOS[name]
         out[name] = {
-            "match_count": cached_result(plan, classifier="ripper", method="match_count"),
-            "avg_probability": cached_result(plan, classifier="ripper", method="avg_probability"),
+            "match_count": RUNTIME.detect(plan, classifier="ripper", method="match_count"),
+            "avg_probability": RUNTIME.detect(plan, classifier="ripper", method="avg_probability"),
         }
     return out
 
@@ -34,8 +33,8 @@ def test_figure2_ripper_probability_beats_match_count(benchmark, ripper_results)
     plan = SCENARIOS["aodv/udp"]
 
     def score_both():
-        from repro.eval.experiments import cached_bundle, run_detection_experiment
-        bundle = cached_bundle(plan)
+        from repro.eval.experiments import run_detection_experiment
+        bundle = RUNTIME.bundle(plan)
         return (
             run_detection_experiment(bundle, classifier="ripper", method="match_count"),
             run_detection_experiment(bundle, classifier="ripper", method="avg_probability"),
@@ -59,7 +58,7 @@ def test_figure2_ripper_probability_beats_match_count(benchmark, ripper_results)
 
     # For C4.5 the paper sees no dramatic gap between the two scorings.
     plan = SCENARIOS["aodv/udp"]
-    c45_mc = cached_result(plan, classifier="c45", method="match_count")
-    c45_ap = cached_result(plan, classifier="c45", method="avg_probability")
+    c45_mc = RUNTIME.detect(plan, classifier="c45", method="match_count")
+    c45_ap = RUNTIME.detect(plan, classifier="c45", method="avg_probability")
     print(f"  C4.5 aodv/udp: match={c45_mc.auc:.3f} prob={c45_ap.auc:.3f}")
     assert abs(c45_ap.auc - c45_mc.auc) < 0.35

@@ -10,10 +10,9 @@ from the black hole's maximum sequence numbers.
 import numpy as np
 import pytest
 
-from repro.eval.experiments import cached_result
 from repro.eval.timeseries import averaged_score_series
 
-from benchmarks.conftest import BENCH_PLAN, SCENARIOS, print_header
+from benchmarks.conftest import BENCH_PLAN, RUNTIME, SCENARIOS, print_header
 
 ATTACK_START = BENCH_PLAN.blackhole_start_frac * BENCH_PLAN.duration
 
@@ -26,7 +25,7 @@ def series_for(result, kind):
 
 @pytest.fixture(scope="module")
 def c45_results():
-    return {name: cached_result(plan, classifier="c45")
+    return {name: RUNTIME.detect(plan, classifier="c45")
             for name, plan in SCENARIOS.items()}
 
 

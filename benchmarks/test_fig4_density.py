@@ -12,16 +12,15 @@ import numpy as np
 import pytest
 
 from repro.eval.density import score_density, separation_summary
-from repro.eval.experiments import cached_result
 
-from benchmarks.conftest import SCENARIOS, print_header
+from benchmarks.conftest import RUNTIME, SCENARIOS, print_header
 
 
 @pytest.fixture(scope="module")
 def densities():
     out = {}
     for name, plan in SCENARIOS.items():
-        result = cached_result(plan, classifier="c45")
+        result = RUNTIME.detect(plan, classifier="c45")
         normal_scores = np.concatenate(
             [s for (n, t, s, l) in result.series if n.startswith("normal")]
         )

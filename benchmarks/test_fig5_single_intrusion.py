@@ -17,10 +17,9 @@ from dataclasses import replace
 import numpy as np
 import pytest
 
-from repro.eval.experiments import cached_result
 from repro.eval.timeseries import averaged_score_series
 
-from benchmarks.conftest import BENCH_PLAN, print_header
+from benchmarks.conftest import BENCH_PLAN, RUNTIME, print_header
 
 AODV_UDP = replace(BENCH_PLAN, protocol="aodv", transport="udp")
 SINGLE_PLANS = {
@@ -33,7 +32,7 @@ SESSION_LEN = BENCH_PLAN.session_frac * BENCH_PLAN.duration
 
 @pytest.fixture(scope="module")
 def single_results():
-    return {kind: cached_result(plan, classifier="c45")
+    return {kind: RUNTIME.detect(plan, classifier="c45")
             for kind, plan in SINGLE_PLANS.items()}
 
 

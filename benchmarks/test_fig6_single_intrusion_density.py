@@ -13,9 +13,8 @@ import numpy as np
 import pytest
 
 from repro.eval.density import score_density, separation_summary
-from repro.eval.experiments import cached_result
 
-from benchmarks.conftest import BENCH_PLAN, print_header
+from benchmarks.conftest import BENCH_PLAN, RUNTIME, print_header
 
 AODV_UDP = replace(BENCH_PLAN, protocol="aodv", transport="udp")
 
@@ -24,7 +23,7 @@ AODV_UDP = replace(BENCH_PLAN, protocol="aodv", transport="udp")
 def single_densities():
     out = {}
     for kind in ("blackhole", "dropping"):
-        result = cached_result(replace(AODV_UDP, attack_kind=kind), classifier="c45")
+        result = RUNTIME.detect(replace(AODV_UDP, attack_kind=kind), classifier="c45")
         normal = np.concatenate(
             [s for (n, t, s, l) in result.series if n.startswith("normal")]
         )

@@ -15,10 +15,9 @@ from dataclasses import replace
 
 import pytest
 
-from repro.eval.experiments import cached_result
 from repro.eval.timeseries import averaged_score_series
 
-from benchmarks.conftest import BENCH_PLAN, print_header
+from benchmarks.conftest import BENCH_PLAN, RUNTIME, print_header
 
 OLSR_PLAN = replace(BENCH_PLAN, protocol="olsr", transport="udp",
                     attack_kind="blackhole")
@@ -28,7 +27,7 @@ SESSION_LEN = BENCH_PLAN.session_frac * BENCH_PLAN.duration
 
 def test_olsr_detection(benchmark):
     result = benchmark.pedantic(
-        lambda: cached_result(OLSR_PLAN, classifier="c45"),
+        lambda: RUNTIME.detect(OLSR_PLAN, classifier="c45"),
         rounds=1, iterations=1,
     )
 

@@ -12,14 +12,14 @@ from dataclasses import replace
 import pytest
 
 from repro.core.reduction import correlation_reduce, factor_reduce
-from repro.eval.experiments import cached_bundle, run_detection_experiment
+from repro.eval.experiments import run_detection_experiment
 from repro.ml import CLASSIFIERS
 from repro.core.model import CrossFeatureDetector
 from repro.eval.metrics import area_above_diagonal, precision_recall_curve
 
 import numpy as np
 
-from benchmarks.conftest import BENCH_PLAN, print_header
+from benchmarks.conftest import BENCH_PLAN, RUNTIME, print_header
 
 PLAN = replace(BENCH_PLAN, protocol="aodv", transport="udp")
 
@@ -39,7 +39,7 @@ def evaluate_subset(bundle, subset):
 
 
 def test_model_reduction(benchmark):
-    bundle = cached_bundle(PLAN)
+    bundle = RUNTIME.bundle(PLAN)
 
     def run_reductions():
         out = {}

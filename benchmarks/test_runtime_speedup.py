@@ -1,0 +1,105 @@
+"""Runtime-layer smoke benchmark: warm-start cache + parallel fan-out.
+
+Asserts the runtime subsystem's two headline properties at a small,
+CI-friendly scale:
+
+* a **warm cache run performs zero simulations** — verified through the
+  hit/miss counters in :class:`repro.RuntimeMetrics`, not wall-clock, so
+  the assertion is robust on any machine;
+* the parallel executor produces **identical detection numbers** to the
+  serial path;
+* wall-clock assertions (warm < cold, parallel < serial) are *printed*
+  always but only asserted when the machine can meaningfully show them
+  (multi-core, cold run slow enough to measure), so single-core CI
+  runners skip the timing checks rather than flake.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.runtime import Session
+
+from benchmarks.conftest import BENCH_PLAN, print_header
+
+#: Much smaller than BENCH_PLAN: this file measures the runtime layer,
+#: not the detector, so the traces only need to cost enough to observe.
+SMOKE_PLAN = replace(
+    BENCH_PLAN,
+    n_nodes=10,
+    duration=200.0,
+    max_connections=10,
+    periods=(5.0, 60.0),
+    warmup=50.0,
+)
+N_TRACES = len(SMOKE_PLAN.train_seeds) + 1 + len(SMOKE_PLAN.normal_seeds) + len(SMOKE_PLAN.attack_seeds)
+
+
+def test_warm_cache_skips_all_simulation(tmp_path):
+    cold = Session(cache_dir=tmp_path, jobs=1)
+    t0 = time.perf_counter()
+    cold_result = cold.detect(SMOKE_PLAN, classifier="nbc")
+    cold_seconds = time.perf_counter() - t0
+    assert cold.metrics.simulations == N_TRACES
+    assert cold.metrics.cache_misses == N_TRACES
+
+    warm = Session(cache_dir=tmp_path, jobs=1)
+    t0 = time.perf_counter()
+    warm_result = warm.detect(SMOKE_PLAN, classifier="nbc")
+    warm_seconds = time.perf_counter() - t0
+
+    print_header("Runtime smoke: warm-start artifact cache")
+    print(f"  cold: {cold_seconds:6.2f}s  ({cold.metrics.summary()})")
+    print(f"  warm: {warm_seconds:6.2f}s  ({warm.metrics.summary()})")
+
+    # The load-bearing assertions: counters, not clocks.
+    assert warm.metrics.simulations == 0, "warm run must not simulate"
+    assert warm.metrics.cache_hits == N_TRACES
+    assert warm.metrics.cache_misses == 0
+    assert warm_result.auc == cold_result.auc
+    assert warm_result.threshold == cold_result.threshold
+    assert warm_result.scores.tobytes() == cold_result.scores.tobytes()
+
+    # Timing is advisory: only asserted when the cold run was slow enough
+    # for the comparison to be meaningful.
+    if cold_seconds < 1.0:
+        pytest.skip("cold run too fast to assert a timing win")
+    assert warm_seconds < cold_seconds
+
+
+def test_parallel_fanout_matches_serial(tmp_path):
+    serial = Session(cache_dir=tmp_path / "serial", jobs=1)
+    t0 = time.perf_counter()
+    serial_result = serial.detect(SMOKE_PLAN, classifier="nbc")
+    serial_seconds = time.perf_counter() - t0
+
+    jobs = min(4, os.cpu_count() or 1)
+    parallel = Session(cache_dir=tmp_path / "parallel", jobs=jobs)
+    t0 = time.perf_counter()
+    parallel_result = parallel.detect(SMOKE_PLAN, classifier="nbc")
+    parallel_seconds = time.perf_counter() - t0
+
+    print_header(f"Runtime smoke: parallel fan-out (jobs={jobs})")
+    print(f"  serial:   {serial_seconds:6.2f}s")
+    print(f"  parallel: {parallel_seconds:6.2f}s "
+          f"({serial_seconds / max(parallel_seconds, 1e-9):.2f}x)")
+
+    # Determinism is unconditional.
+    assert parallel_result.auc == serial_result.auc
+    assert parallel_result.scores.tobytes() == serial_result.scores.tobytes()
+    assert parallel.metrics.simulations == N_TRACES
+
+    # Timing asserted only where a speedup is physically possible.
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("single-core runner: no parallel speedup to assert")
+    if parallel.metrics.fallbacks:
+        pytest.skip("process pool unavailable: executor fell back to serial")
+    if serial_seconds < 2.0:
+        pytest.skip("workload too small to assert a timing win")
+    # Generous bound: pool startup + pickling overhead must still leave a
+    # clear win on the ~7-way fan-out.
+    assert parallel_seconds < serial_seconds * 0.9

@@ -15,13 +15,12 @@ import pytest
 
 from repro.attacks import ImpersonationAttack, UpdateStormAttack, periodic_sessions
 from repro.core.model import CrossFeatureDetector
-from repro.eval.experiments import cached_bundle
 from repro.eval.metrics import area_above_diagonal, precision_recall_curve
 from repro.features.extraction import extract_features
 from repro.ml import CLASSIFIERS
 from repro.simulation.scenario import run_scenario
 
-from benchmarks.conftest import BENCH_PLAN, print_header
+from benchmarks.conftest import BENCH_PLAN, RUNTIME, print_header
 
 PLAN = replace(BENCH_PLAN, protocol="aodv", transport="udp")
 
@@ -33,7 +32,7 @@ def attack_dataset(attack):
 
 
 def test_unseen_taxonomy_attacks_detected(benchmark):
-    bundle = cached_bundle(PLAN)
+    bundle = RUNTIME.bundle(PLAN)
     detector = CrossFeatureDetector(
         classifier_factory=CLASSIFIERS["c45"],
         method="calibrated_probability",

@@ -10,10 +10,13 @@ Reproduces the paper's §4.2 protocol-level findings at example scale:
   permanent) while DSR's cache eventually ages the poison out;
 * anomaly detection is easier on AODV than DSR.
 
-Run:  python examples/aodv_vs_dsr.py        (~3-4 minutes)
+Traces are simulated through a `Session` (parallel over `$REPRO_JOBS`,
+cached on disk), so a second run of this example skips simulation.
+
+Run:  python examples/aodv_vs_dsr.py        (~3-4 minutes cold)
 """
 
-from repro import CrossFeatureDetector, extract_features, run_scenario
+from repro import CrossFeatureDetector, Session, extract_features
 from repro.attacks import BlackholeAttack
 from repro.eval.metrics import area_above_diagonal, optimal_point, precision_recall_curve
 from repro.features.extraction import FeatureDataset
@@ -23,6 +26,8 @@ import numpy as np
 
 DURATION = 600.0
 N_NODES = 16
+
+SESSION = Session()
 
 
 def config(protocol: str, seed: int) -> ScenarioConfig:
@@ -38,18 +43,19 @@ def main() -> None:
         print(f"{protocol.upper()}")
         print("=" * 60)
 
-        normal = run_scenario(config(protocol, seed=21))
+        normal = SESSION.trace(config(protocol, seed=21))
         print(f"normal delivery ratio:      {normal.delivery_ratio():.2f}")
 
         attack = BlackholeAttack(attacker=N_NODES - 1,
                                  sessions=[(150.0, DURATION)])
-        attacked = run_scenario(config(protocol, seed=21), attacks=[attack])
+        attacked = SESSION.trace(config(protocol, seed=21), attacks=(attack,))
+        lost = attacked.data_originated - attacked.data_delivered
         print(f"under black hole:           {attacked.delivery_ratio():.2f} "
-              f"({attack.absorbed} packets absorbed)")
+              f"({lost} packets undelivered)")
 
         # Train a detector and measure separability for this protocol.
         def features(seed, attacks=()):
-            trace = run_scenario(config(protocol, seed), attacks=list(attacks))
+            trace = SESSION.trace(config(protocol, seed), attacks=tuple(attacks))
             return extract_features(trace, monitor=0, warmup=100.0,
                                     label_policy="post_attack")
 
@@ -75,6 +81,7 @@ def main() -> None:
 
     print("Expected shape (paper §4.2): results from AODV are significantly "
           "better than those from DSR.")
+    print(f"runtime: {SESSION.metrics.summary()}")
 
 
 if __name__ == "__main__":

@@ -9,12 +9,13 @@ attack (meaningless route-discovery flooding), an attack class entirely
 different from the black hole and packet-dropping attacks the paper's
 other experiments use.
 
-Run:  python examples/update_storm.py        (~2 minutes)
+Run:  python examples/update_storm.py        (~2 minutes cold; traces are
+cached by the runtime layer, so re-runs skip simulation)
 """
 
 import numpy as np
 
-from repro import CrossFeatureDetector, extract_features, run_scenario
+from repro import CrossFeatureDetector, Session, extract_features
 from repro.attacks import UpdateStormAttack, periodic_sessions
 from repro.features.extraction import FeatureDataset
 from repro.simulation.scenario import ScenarioConfig
@@ -22,12 +23,14 @@ from repro.simulation.scenario import ScenarioConfig
 DURATION = 600.0
 N_NODES = 16
 
+SESSION = Session()
+
 
 def features(seed, attacks=()):
     cfg = ScenarioConfig(protocol="aodv", transport="udp", n_nodes=N_NODES,
                          duration=DURATION, max_connections=60, seed=seed,
                          traffic_seed=5)
-    trace = run_scenario(cfg, attacks=list(attacks))
+    trace = SESSION.trace(cfg, attacks=tuple(attacks))
     return extract_features(trace, monitor=0, warmup=100.0,
                             label_policy="session")
 
@@ -48,7 +51,8 @@ def main() -> None:
         rate=30.0,
     )
     abnormal = features(31, [storm])
-    print(f"  {storm.floods_sent} meaningless route requests flooded")
+    print(f"  {len(storm.sessions)} storm sessions at {storm.rate:.0f} "
+          f"forged route requests/s")
 
     alarms = detector.predict(abnormal.X)
     in_session = abnormal.labels

@@ -9,12 +9,17 @@ sub-model engines.
 
 Quickstart::
 
-    from repro import ExperimentPlan, cached_bundle, run_detection_experiment
+    from repro import ExperimentPlan, Session
 
+    session = Session(jobs=4)           # parallel traces + on-disk cache
     plan = ExperimentPlan(protocol="aodv", transport="udp", duration=600.0)
-    bundle = cached_bundle(plan)
-    result = run_detection_experiment(bundle, classifier="c45")
+    result = session.detect(plan, classifier="c45")
     print(result.auc, result.optimal)
+
+:class:`Session` is the runtime entry point: it fans independent trace
+simulations out across worker processes and persists the simulated
+artifacts in a content-addressed on-disk cache (``~/.cache/repro`` or
+``$REPRO_CACHE_DIR``), so a warm re-run performs zero simulations.
 """
 
 from repro.core import (
@@ -39,12 +44,14 @@ from repro.eval.experiments import (
 )
 from repro.features import FeatureDataset, extract_features
 from repro.ml import CLASSIFIERS, C45Classifier, NaiveBayesClassifier, RipperClassifier
+from repro.runtime import ArtifactCache, RuntimeMetrics, Session, TraceEvent, default_session
 from repro.simulation import ScenarioConfig, SimulationTrace, run_scenario
 
 __version__ = "1.0.0"
 
 __all__ = [
     "CLASSIFIERS",
+    "ArtifactCache",
     "C45Classifier",
     "CrossFeatureDetector",
     "CrossFeatureModel",
@@ -55,14 +62,18 @@ __all__ = [
     "NaiveBayesClassifier",
     "RegressionCrossFeatureModel",
     "RipperClassifier",
+    "RuntimeMetrics",
     "ScenarioConfig",
+    "Session",
     "SimulationTrace",
     "TraceBundle",
+    "TraceEvent",
     "TwoNodeExample",
     "average_match_count",
     "average_probability",
     "cached_bundle",
     "cached_result",
+    "default_session",
     "extract_features",
     "four_scenarios",
     "run_detection_experiment",

@@ -5,12 +5,17 @@ Usage examples::
     # Simulate one scenario and print trace statistics
     python -m repro simulate --protocol aodv --transport udp --duration 600
 
-    # Full detection experiment (train on normal, evaluate vs attacks)
+    # Full detection experiment, 4 worker processes, persistent cache
     python -m repro detect --protocol aodv --transport udp \
-        --classifier c45 --duration 1000
+        --classifier c45 --duration 1000 --jobs 4
 
     # The paper's §3 illustrative example (Tables 1-3)
     python -m repro illustrate
+
+Simulation-heavy commands accept ``--jobs`` (parallel trace fan-out;
+deterministic — any job count yields identical numbers), ``--cache-dir``
+and ``--no-cache`` (the persistent artifact cache; a warm cache re-run
+performs zero simulations).
 """
 
 from __future__ import annotations
@@ -28,9 +33,47 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1)
 
 
+def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for trace simulation "
+             "(default: $REPRO_JOBS or 1; results are identical for any N)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent artifact cache for this run",
+    )
+
+
+def _progress_printer(event) -> None:
+    """Live per-trace progress lines, fed by the metrics hook."""
+    if event.kind == "cache_hit":
+        print(f"  [cache]  {event.label}")
+    elif event.kind == "simulated":
+        print(f"  [sim]    {event.label}  ({event.seconds:.1f}s)")
+    elif event.kind == "fallback":
+        print(f"  [runtime] {event.label}")
+
+
+def _build_session(args: argparse.Namespace):
+    """A Session wired to the CLI's runtime flags + live progress."""
+    from repro.runtime import RuntimeMetrics, Session
+
+    return Session(
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+        metrics=RuntimeMetrics(on_event=_progress_printer),
+    )
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run one scenario and print trace statistics."""
-    from repro.simulation.scenario import ScenarioConfig, run_scenario
+    from repro.simulation.scenario import ScenarioConfig
 
     config = ScenarioConfig(
         protocol=args.protocol,
@@ -40,20 +83,22 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         max_connections=args.connections,
         seed=args.seed,
     )
+    session = _build_session(args)
     print(f"simulating {args.protocol}/{args.transport}: "
           f"{args.nodes} nodes, {args.duration:.0f}s ...")
-    trace = run_scenario(config)
+    trace = session.trace(config)
     print(f"data packets originated : {trace.data_originated}")
     print(f"data packets delivered  : {trace.data_delivered}")
     print(f"delivery ratio          : {trace.delivery_ratio():.3f}")
     print(f"total trace events      : {trace.recorder.total_packets()}")
     print(f"sampling windows        : {len(trace.tick_times)}")
+    print(f"runtime                 : {session.metrics.summary()}")
     return 0
 
 
 def cmd_detect(args: argparse.Namespace) -> int:
     """Run a full detection experiment and print its metrics."""
-    from repro.eval.experiments import ExperimentPlan, run_detection_experiment, simulate_bundle
+    from repro.eval.experiments import ExperimentPlan
 
     plan = ExperimentPlan(
         protocol=args.protocol,
@@ -63,14 +108,14 @@ def cmd_detect(args: argparse.Namespace) -> int:
         max_connections=args.connections,
         attack_kind=args.attack,
     )
+    session = _build_session(args)
     print(f"running detection experiment: {args.protocol}/{args.transport}, "
-          f"attack={args.attack}, classifier={args.classifier}")
+          f"attack={args.attack}, classifier={args.classifier}, "
+          f"jobs={session.jobs}")
     print("simulating traces (train x2, calibration, normal evals, attack evals) ...")
-    bundle = simulate_bundle(plan)
+    session.bundle(plan)
     print(f"training {args.classifier} sub-models ...")
-    result = run_detection_experiment(
-        bundle, classifier=args.classifier, method=args.method
-    )
+    result = session.detect(plan, classifier=args.classifier, method=args.method)
     recall, precision = result.recall_precision_at_threshold()
     print(f"AUC above diagonal      : {result.auc:.3f}  (max 0.5)")
     r, p, thr = result.optimal
@@ -78,6 +123,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
           f"(threshold {thr:.3f})")
     print(f"at calibrated threshold : recall {recall:.2f}, precision {precision:.2f} "
           f"(threshold {result.threshold:.3f})")
+    print(f"runtime                 : {session.metrics.summary()}")
     return 0
 
 
@@ -94,9 +140,11 @@ def cmd_report(args: argparse.Namespace) -> int:
         max_connections=args.connections,
         attack_kind=args.attack,
     )
+    session = _build_session(args)
     print("simulating traces and training all classifiers "
           "(this takes a few minutes) ...")
-    print(scenario_report(plan))
+    print(scenario_report(plan, session=session))
+    print(f"runtime: {session.metrics.summary()}")
     return 0
 
 
@@ -126,10 +174,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sim = sub.add_parser("simulate", help="run one MANET scenario")
     _add_scenario_args(p_sim)
+    _add_runtime_args(p_sim)
     p_sim.set_defaults(func=cmd_simulate)
 
     p_det = sub.add_parser("detect", help="run a full detection experiment")
     _add_scenario_args(p_det)
+    _add_runtime_args(p_det)
     p_det.add_argument("--classifier", choices=["c45", "ripper", "nbc"], default="c45")
     p_det.add_argument(
         "--method",
@@ -142,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rep = sub.add_parser("report", help="compare all classifiers on one condition")
     _add_scenario_args(p_rep)
+    _add_runtime_args(p_rep)
     p_rep.add_argument("--attack", choices=["mixed", "blackhole", "dropping"],
                        default="mixed")
     p_rep.set_defaults(func=cmd_report)

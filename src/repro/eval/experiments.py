@@ -13,15 +13,17 @@ pipeline then mirrors the paper's setup:
 * features extracted at one monitor node, sub-models trained on the
   normal trace, and every evaluation trace scored window by window.
 
-Plans are frozen/hashable and results are memoised, so the many
-benchmarks that share a pipeline (Figures 1-4 all use the same traces)
-only pay for it once per session.
+Plans are frozen/hashable; simulation, caching and parallel execution
+live in :mod:`repro.runtime` — :class:`repro.runtime.Session` is the
+documented way to run this pipeline.  The module-level ``cached_bundle``
+/ ``cached_result`` / ``simulate_bundle`` helpers remain as deprecated
+thin wrappers over the process-wide default session.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
-from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
@@ -32,7 +34,7 @@ from repro.core.model import CrossFeatureDetector
 from repro.eval.metrics import PrCurve, area_above_diagonal, optimal_point, precision_recall_curve
 from repro.features.extraction import FeatureDataset, extract_features
 from repro.ml import CLASSIFIERS
-from repro.simulation.scenario import ScenarioConfig, run_scenario
+from repro.simulation.scenario import ScenarioConfig, SimulationTrace
 
 ATTACK_KINDS = ("mixed", "blackhole", "dropping")
 
@@ -70,6 +72,14 @@ class ExperimentPlan:
     label_policy: str = "post_attack"
 
     def __post_init__(self) -> None:
+        # Validate the node count before anything touches `self.attacker`
+        # (n_nodes - 1): a degenerate count would otherwise surface as a
+        # confusing monitor/attacker clash or pass straight through.
+        if self.n_nodes < 2:
+            raise ValueError(
+                f"n_nodes must be >= 2 (got {self.n_nodes}): a condition "
+                "needs at least a monitor and a distinct attacker"
+            )
         if self.attack_kind not in ATTACK_KINDS:
             raise ValueError(f"attack_kind must be one of {ATTACK_KINDS}")
         if self.monitor == self.attacker:
@@ -159,24 +169,44 @@ class RawTraces:
     """
 
     plan: ExperimentPlan
-    train: list  # list[SimulationTrace]
-    calibration: object
-    normal_evals: list
-    abnormal_evals: list
+    train: list[SimulationTrace]
+    calibration: SimulationTrace
+    normal_evals: list[SimulationTrace]
+    abnormal_evals: list[SimulationTrace]
 
 
-def simulate_raw_traces(plan: ExperimentPlan) -> RawTraces:
-    """Run all simulations of a test condition (no feature extraction)."""
-    return RawTraces(
-        plan=plan,
-        train=[run_scenario(plan.scenario_config(s)) for s in plan.train_seeds],
-        calibration=run_scenario(plan.scenario_config(plan.calibration_seed)),
-        normal_evals=[run_scenario(plan.scenario_config(s)) for s in plan.normal_seeds],
-        abnormal_evals=[
-            run_scenario(plan.scenario_config(s), attacks=plan.build_attacks())
-            for s in plan.attack_seeds
-        ],
+def plan_sim_key(plan: ExperimentPlan) -> ExperimentPlan:
+    """The plan with extraction-only knobs normalised away.
+
+    Two plans with equal sim keys simulate identical traces, so the
+    runtime layer shares their simulations (periods, warmup, label policy
+    and monitor only affect feature extraction).
+    """
+    return replace(
+        plan,
+        periods=(5.0,),
+        warmup=0.0,
+        label_policy="session",
+        monitor=0,
     )
+
+
+def simulate_raw_traces(
+    plan: ExperimentPlan,
+    jobs: int = 1,
+    metrics=None,
+) -> RawTraces:
+    """Run all simulations of a test condition (no feature extraction).
+
+    Always simulates fresh (no artifact cache); pass ``jobs > 1`` to fan
+    the independent traces out across worker processes.  Prefer
+    :meth:`repro.Session.raw_traces` to also get persistent caching.
+    """
+    from repro.runtime.executor import TraceExecutor
+    from repro.runtime.session import _assemble_raw, _plan_tasks
+
+    executor = TraceExecutor(jobs=jobs, metrics=metrics)
+    return _assemble_raw(plan, executor.run(_plan_tasks(plan)))
 
 
 def extract_bundle(raw: RawTraces, monitor: int | None = None) -> TraceBundle:
@@ -210,8 +240,13 @@ def extract_bundle(raw: RawTraces, monitor: int | None = None) -> TraceBundle:
 
 
 def simulate_bundle(plan: ExperimentPlan) -> TraceBundle:
-    """Run all traces of a test condition and extract features."""
-    return extract_bundle(simulate_raw_traces(plan))
+    """Deprecated: use :meth:`repro.Session.bundle`.
+
+    Routes through the default session, so repeated calls now reuse the
+    persistent artifact cache instead of re-simulating.
+    """
+    _warn_deprecated("simulate_bundle", "session.bundle(plan)")
+    return _default_session().bundle(plan)
 
 
 @dataclass
@@ -296,44 +331,41 @@ def run_detection_experiment(
 
 
 # ----------------------------------------------------------------------
-# Memoised pipeline for benchmarks that share traces/results.
+# Legacy module-level pipeline helpers — thin wrappers over the default
+# repro.runtime.Session (which adds parallel execution + the persistent
+# artifact cache on top of the old in-process memoisation).
 # ----------------------------------------------------------------------
-@lru_cache(maxsize=16)
+def _default_session():
+    from repro.runtime.session import default_session
+
+    return default_session()
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.eval.experiments.{name}() is deprecated; create a "
+        f"repro.Session and use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def cached_raw_traces(plan: ExperimentPlan) -> RawTraces:
-    """Memoised :func:`simulate_raw_traces` (plans are frozen/hashable).
+    """Raw traces via the default session (shared across extraction knobs).
 
-    Keyed on the simulation-relevant plan fields only, so plans differing
-    in extraction knobs (periods, warmup, labels, monitor) share traces.
+    Kept as the non-deprecated low-level alias; plans differing only in
+    periods/warmup/labels/monitor share simulations (see
+    :func:`plan_sim_key`).
     """
-    sim_key = replace(
-        plan,
-        periods=(5.0,),
-        warmup=0.0,
-        label_policy="session",
-        monitor=0,
-    )
-    raw = _cached_raw_by_sim_key(sim_key)
-    return RawTraces(
-        plan=plan,
-        train=raw.train,
-        calibration=raw.calibration,
-        normal_evals=raw.normal_evals,
-        abnormal_evals=raw.abnormal_evals,
-    )
+    return _default_session().raw_traces(plan)
 
 
-@lru_cache(maxsize=16)
-def _cached_raw_by_sim_key(sim_key: ExperimentPlan) -> RawTraces:
-    return simulate_raw_traces(sim_key)
-
-
-@lru_cache(maxsize=32)
 def cached_bundle(plan: ExperimentPlan) -> TraceBundle:
-    """Memoised :func:`simulate_bundle` (plans are frozen/hashable)."""
-    return extract_bundle(cached_raw_traces(plan))
+    """Deprecated: use :meth:`repro.Session.bundle`."""
+    _warn_deprecated("cached_bundle", "session.bundle(plan)")
+    return _default_session().bundle(plan)
 
 
-@lru_cache(maxsize=128)
 def cached_result(
     plan: ExperimentPlan,
     classifier: str = "c45",
@@ -342,9 +374,10 @@ def cached_result(
     max_models: int | None = None,
     n_buckets: int = 5,
 ) -> DetectionResult:
-    """Memoised :func:`run_detection_experiment` on the memoised bundle."""
-    return run_detection_experiment(
-        cached_bundle(plan),
+    """Deprecated: use :meth:`repro.Session.detect`."""
+    _warn_deprecated("cached_result", "session.detect(plan, ...)")
+    return _default_session().detect(
+        plan,
         classifier=classifier,
         method=method,
         false_alarm_rate=false_alarm_rate,
@@ -367,7 +400,7 @@ def per_monitor_results(
     simulations are shared — only feature extraction and sub-model
     training repeat per monitor.
     """
-    raw = cached_raw_traces(plan)
+    raw = _default_session().raw_traces(plan)
     results = {}
     for monitor in monitors:
         bundle = extract_bundle(raw, monitor=monitor)

@@ -13,7 +13,6 @@ from typing import Mapping, Sequence
 from repro.eval.experiments import (
     DetectionResult,
     ExperimentPlan,
-    cached_bundle,
     run_detection_experiment,
 )
 
@@ -49,13 +48,20 @@ def scenario_report(
     plan: ExperimentPlan,
     classifiers: Sequence[str] = ("c45", "ripper", "nbc"),
     method: str = "calibrated_probability",
+    session=None,
 ) -> str:
     """Run the detection experiment for each classifier and format it.
 
-    Simulations are shared across classifiers via the plan cache, so the
-    added cost per classifier is sub-model training only.
+    Simulations are shared across classifiers via the session's caches,
+    so the added cost per classifier is sub-model training only.  Pass a
+    :class:`repro.Session` to control parallelism and cache placement;
+    the process-wide default session is used otherwise.
     """
-    bundle = cached_bundle(plan)
+    from repro.runtime.session import default_session
+
+    if session is None:
+        session = default_session()
+    bundle = session.bundle(plan)
     results = {
         name: run_detection_experiment(bundle, classifier=name, method=method)
         for name in classifiers

@@ -1,0 +1,33 @@
+"""Runtime layer: parallel trace execution + persistent artifact cache.
+
+* :class:`~repro.runtime.session.Session` — the documented entry point:
+  ``Session(jobs=4).detect(plan)``;
+* :class:`~repro.runtime.executor.TraceExecutor` /
+  :class:`~repro.runtime.executor.TraceTask` — process-pool fan-out of
+  independent simulations with a graceful serial fallback;
+* :class:`~repro.runtime.cache.ArtifactCache` — content-addressed on-disk
+  trace cache with atomic writes, corruption-tolerant loads and LRU
+  eviction;
+* :class:`~repro.runtime.metrics.RuntimeMetrics` /
+  :class:`~repro.runtime.metrics.TraceEvent` — timing, hit/miss counters
+  and the live progress hook.
+"""
+
+from repro.runtime.cache import ArtifactCache, code_version, default_cache_dir, stable_key
+from repro.runtime.executor import TraceExecutor, TraceTask
+from repro.runtime.metrics import RuntimeMetrics, TraceEvent
+from repro.runtime.session import Session, default_session, set_default_session
+
+__all__ = [
+    "ArtifactCache",
+    "RuntimeMetrics",
+    "Session",
+    "TraceEvent",
+    "TraceExecutor",
+    "TraceTask",
+    "code_version",
+    "default_cache_dir",
+    "default_session",
+    "set_default_session",
+    "stable_key",
+]

@@ -1,0 +1,113 @@
+"""Progress and timing instrumentation for the runtime layer.
+
+A :class:`RuntimeMetrics` instance rides along with every
+:class:`~repro.runtime.session.Session`: the executor reports per-trace
+wall-clock, the artifact cache reports hits / misses / evictions, and an
+optional callback hook receives each :class:`TraceEvent` as it happens —
+the CLI uses it to print live progress while traces simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observable runtime happening, delivered to the metrics hook.
+
+    ``kind`` is one of:
+
+    * ``"cache_hit"`` — an artifact was loaded from the on-disk cache;
+    * ``"cache_miss"`` — an artifact was absent (or unreadable) on disk;
+    * ``"simulated"`` — a trace finished simulating (``seconds`` holds its
+      wall-clock);
+    * ``"evicted"`` — a cache entry was removed by the eviction policy;
+    * ``"fallback"`` — the process pool was unavailable and the executor
+      fell back to serial execution (``label`` holds the reason).
+    """
+
+    kind: str
+    label: str = ""
+    seconds: float = 0.0
+
+
+class RuntimeMetrics:
+    """Counters + timings for one runtime session.
+
+    Parameters
+    ----------
+    on_event:
+        Optional callback invoked with every :class:`TraceEvent` as it is
+        recorded.  Exceptions raised by the callback propagate — it is a
+        local hook, not a plugin boundary.
+    """
+
+    def __init__(self, on_event: Callable[[TraceEvent], None] | None = None):
+        self.on_event = on_event
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.simulations = 0
+        self.evictions = 0
+        self.fallbacks = 0
+        #: (label, wall-clock seconds) per simulated trace, completion order.
+        self.trace_seconds: list[tuple[str, float]] = []
+
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, label: str = "", seconds: float = 0.0) -> None:
+        if self.on_event is not None:
+            self.on_event(TraceEvent(kind=kind, label=label, seconds=seconds))
+
+    def record_cache_hit(self, label: str = "") -> None:
+        """An artifact was served from the on-disk cache."""
+        self.cache_hits += 1
+        self._emit("cache_hit", label)
+
+    def record_cache_miss(self, label: str = "") -> None:
+        """An artifact had to be (re)computed."""
+        self.cache_misses += 1
+        self._emit("cache_miss", label)
+
+    def record_simulated(self, label: str, seconds: float) -> None:
+        """One trace finished simulating."""
+        self.simulations += 1
+        self.trace_seconds.append((label, seconds))
+        self._emit("simulated", label, seconds)
+
+    def record_eviction(self, label: str = "") -> None:
+        """The cache eviction policy removed an entry."""
+        self.evictions += 1
+        self._emit("evicted", label)
+
+    def record_fallback(self, reason: str) -> None:
+        """The parallel executor degraded to serial execution."""
+        self.fallbacks += 1
+        self._emit("fallback", reason)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_trace_seconds(self) -> float:
+        """Summed wall-clock of every simulated trace (not elapsed time —
+        parallel traces overlap)."""
+        return sum(s for _, s in self.trace_seconds)
+
+    def reset(self) -> None:
+        """Zero every counter (the callback hook is kept)."""
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.simulations = 0
+        self.evictions = 0
+        self.fallbacks = 0
+        self.trace_seconds = []
+
+    def summary(self) -> str:
+        """One-line human-readable state, used by the CLI."""
+        return (
+            f"{self.simulations} simulated ({self.total_trace_seconds:.1f}s "
+            f"trace wall-clock), cache {self.cache_hits} hit / "
+            f"{self.cache_misses} miss, {self.evictions} evicted"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RuntimeMetrics({self.summary()})"

@@ -1,0 +1,311 @@
+"""The :class:`Session` facade — the one documented pipeline entry point.
+
+A session owns the three runtime services and threads every experiment
+through them:
+
+* a :class:`~repro.runtime.executor.TraceExecutor` that fans independent
+  trace simulations out across worker processes (``jobs=``);
+* an :class:`~repro.runtime.cache.ArtifactCache` that persists simulated
+  traces on disk, content-addressed by scenario + attack composition +
+  simulator code version (``cache_dir=``, ``cache=False`` to disable);
+* a :class:`~repro.runtime.metrics.RuntimeMetrics` with per-trace timing,
+  cache hit/miss counters and a live progress hook (``metrics=``).
+
+Usage::
+
+    from repro import ExperimentPlan, Session
+
+    session = Session(jobs=4)
+    bundle = session.bundle(ExperimentPlan(protocol="aodv"))
+    result = session.detect(ExperimentPlan(protocol="dsr"), classifier="c45")
+    results = session.sweep(four_scenarios())          # shares one fan-out
+
+The legacy module-level helpers (``cached_bundle`` / ``cached_result`` /
+``simulate_bundle``) delegate to a process-wide default session and emit
+:class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.eval.experiments import (
+    DetectionResult,
+    ExperimentPlan,
+    RawTraces,
+    TraceBundle,
+    extract_bundle,
+    plan_sim_key,
+    run_detection_experiment,
+)
+from repro.runtime.cache import ArtifactCache, attack_signature
+from repro.runtime.executor import TraceExecutor, TraceTask
+from repro.runtime.metrics import RuntimeMetrics
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.attacks.base import Attack
+    from repro.simulation.scenario import ScenarioConfig, SimulationTrace
+
+
+def _env_jobs() -> int:
+    """Worker count from ``$REPRO_JOBS`` (defaults to 1 = serial)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+    except ValueError:
+        return 1
+
+
+def _plan_tasks(plan: ExperimentPlan) -> list[TraceTask]:
+    """The independent simulations of one test condition, in bundle order."""
+    tasks = [
+        TraceTask(plan.scenario_config(s), (), f"train[{s}]")
+        for s in plan.train_seeds
+    ]
+    tasks.append(
+        TraceTask(plan.scenario_config(plan.calibration_seed), (),
+                  f"calibration[{plan.calibration_seed}]")
+    )
+    tasks.extend(
+        TraceTask(plan.scenario_config(s), (), f"normal[{s}]")
+        for s in plan.normal_seeds
+    )
+    tasks.extend(
+        TraceTask(plan.scenario_config(s), tuple(plan.build_attacks()), f"attack[{s}]")
+        for s in plan.attack_seeds
+    )
+    return tasks
+
+
+def _assemble_raw(plan: ExperimentPlan, traces: "list[SimulationTrace]") -> RawTraces:
+    """Rebuild a :class:`RawTraces` from the flat `_plan_tasks` order."""
+    n_train = len(plan.train_seeds)
+    n_normal = len(plan.normal_seeds)
+    return RawTraces(
+        plan=plan,
+        train=traces[:n_train],
+        calibration=traces[n_train],
+        normal_evals=traces[n_train + 1:n_train + 1 + n_normal],
+        abnormal_evals=traces[n_train + 1 + n_normal:],
+    )
+
+
+class Session:
+    """Pipeline runtime: parallel simulation + persistent artifact cache.
+
+    Parameters
+    ----------
+    cache_dir:
+        Artifact cache directory (default: ``$REPRO_CACHE_DIR`` or
+        ``~/.cache/repro``).
+    jobs:
+        Worker processes for trace fan-out; ``None`` reads ``$REPRO_JOBS``
+        (default 1 = serial).  Results are seed-deterministic regardless.
+    metrics:
+        A :class:`RuntimeMetrics` to account into (one is created
+        otherwise); pass one with an ``on_event`` hook for live progress.
+    cache:
+        ``False`` disables the on-disk cache entirely (simulations still
+        memoise in memory within the session).
+    max_entries, max_bytes:
+        Cache eviction bounds, forwarded to :class:`ArtifactCache`.
+    """
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike | None = None,
+        jobs: int | None = None,
+        metrics: RuntimeMetrics | None = None,
+        cache: bool = True,
+        max_entries: int = 512,
+        max_bytes: int = 4 << 30,
+    ):
+        self.jobs = _env_jobs() if jobs is None else max(1, int(jobs))
+        self.metrics = metrics if metrics is not None else RuntimeMetrics()
+        self.cache: ArtifactCache | None = (
+            ArtifactCache(
+                cache_dir=cache_dir,
+                max_entries=max_entries,
+                max_bytes=max_bytes,
+                metrics=self.metrics,
+            )
+            if cache
+            else None
+        )
+        self.executor = TraceExecutor(jobs=self.jobs, metrics=self.metrics)
+        self._raw: dict[ExperimentPlan, RawTraces] = {}
+        self._bundles: dict[ExperimentPlan, TraceBundle] = {}
+        self._results: dict[tuple, DetectionResult] = {}
+
+    # ------------------------------------------------------------------
+    # Trace level
+    # ------------------------------------------------------------------
+    def _task_key(self, task: TraceTask) -> str:
+        assert self.cache is not None
+        return self.cache.key(
+            ("trace", task.config, [attack_signature(a) for a in task.attacks])
+        )
+
+    def _traces(self, tasks: Sequence[TraceTask]) -> "list[SimulationTrace]":
+        """Resolve a batch of tasks through cache + executor, in order."""
+        tasks = list(tasks)
+        results: list["SimulationTrace | None"] = [None] * len(tasks)
+        pending: list[tuple[int, str | None, TraceTask]] = []
+        for i, task in enumerate(tasks):
+            if self.cache is not None:
+                key = self._task_key(task)
+                hit = self.cache.get(key)
+                if hit is not None:
+                    self.metrics.record_cache_hit(task.label)
+                    results[i] = hit
+                    continue
+                self.metrics.record_cache_miss(task.label)
+                pending.append((i, key, task))
+            else:
+                pending.append((i, None, task))
+        fresh = self.executor.run([task for _, _, task in pending])
+        for (i, key, _), trace in zip(pending, fresh):
+            results[i] = trace
+            if self.cache is not None and key is not None:
+                self.cache.put(key, trace)
+        return results  # type: ignore[return-value]
+
+    def trace(
+        self,
+        config: "ScenarioConfig",
+        attacks: Sequence["Attack"] = (),
+        label: str = "",
+    ) -> "SimulationTrace":
+        """Run (or load) one scenario through the cache + executor."""
+        task = TraceTask(config, tuple(attacks), label or f"scenario[{config.seed}]")
+        return self._traces([task])[0]
+
+    # ------------------------------------------------------------------
+    # Plan level
+    # ------------------------------------------------------------------
+    def prefetch(self, plans: Sequence[ExperimentPlan]) -> None:
+        """Simulate every missing trace of several plans as ONE fan-out.
+
+        With ``jobs > 1`` this is what makes sweeps scale: all plans'
+        cache misses share a single process-pool batch instead of each
+        plan draining its own 7-trace pool.
+        """
+        spans: list[tuple[ExperimentPlan, int, int]] = []
+        all_tasks: list[TraceTask] = []
+        for plan in plans:
+            sim_key = plan_sim_key(plan)
+            if sim_key in self._raw or any(sk == sim_key for sk, _, _ in spans):
+                continue
+            tasks = _plan_tasks(sim_key)
+            spans.append((sim_key, len(all_tasks), len(tasks)))
+            all_tasks.extend(tasks)
+        if not all_tasks:
+            return
+        traces = self._traces(all_tasks)
+        for sim_key, start, n in spans:
+            self._raw[sim_key] = _assemble_raw(sim_key, traces[start:start + n])
+
+    def raw_traces(self, plan: ExperimentPlan) -> RawTraces:
+        """All simulated traces of a test condition (no feature extraction).
+
+        Traces are shared across plans that differ only in extraction
+        knobs (periods, warmup, labels, monitor), exactly like the legacy
+        ``cached_raw_traces``.
+        """
+        sim_key = plan_sim_key(plan)
+        if sim_key not in self._raw:
+            self.prefetch([plan])
+        raw = self._raw[sim_key]
+        return RawTraces(
+            plan=plan,
+            train=raw.train,
+            calibration=raw.calibration,
+            normal_evals=raw.normal_evals,
+            abnormal_evals=raw.abnormal_evals,
+        )
+
+    def bundle(self, plan: ExperimentPlan, monitor: int | None = None) -> TraceBundle:
+        """Feature datasets of a test condition (simulate + extract).
+
+        ``monitor`` overrides the plan's observation point without
+        re-simulating (multi-monitor analyses); only the plan-default
+        monitor is memoised.
+        """
+        if monitor is not None and monitor != plan.monitor:
+            return extract_bundle(self.raw_traces(plan), monitor=monitor)
+        if plan not in self._bundles:
+            self._bundles[plan] = extract_bundle(self.raw_traces(plan))
+        return self._bundles[plan]
+
+    def detect(
+        self,
+        plan: ExperimentPlan,
+        classifier: str = "c45",
+        method: str = "calibrated_probability",
+        false_alarm_rate: float = 0.02,
+        max_models: int | None = None,
+        n_buckets: int = 5,
+    ) -> DetectionResult:
+        """Full detection experiment on one plan (memoised per knob set)."""
+        key = (plan, classifier, method, false_alarm_rate, max_models, n_buckets)
+        if key not in self._results:
+            self._results[key] = run_detection_experiment(
+                self.bundle(plan),
+                classifier=classifier,
+                method=method,
+                false_alarm_rate=false_alarm_rate,
+                max_models=max_models,
+                n_buckets=n_buckets,
+            )
+        return self._results[key]
+
+    def sweep(
+        self,
+        plans: Mapping[str, ExperimentPlan] | Sequence[ExperimentPlan],
+        classifier: str = "c45",
+        method: str = "calibrated_probability",
+        **knobs,
+    ):
+        """Detection experiments over several plans, sharing one fan-out.
+
+        Accepts a name→plan mapping (returns a name→result dict, e.g. the
+        output of :func:`~repro.eval.experiments.four_scenarios`) or a
+        plain sequence of plans (returns a list of results in order).
+        """
+        if isinstance(plans, Mapping):
+            self.prefetch(list(plans.values()))
+            return {
+                name: self.detect(plan, classifier=classifier, method=method, **knobs)
+                for name, plan in plans.items()
+            }
+        plans = list(plans)
+        self.prefetch(plans)
+        return [
+            self.detect(plan, classifier=classifier, method=method, **knobs)
+            for plan in plans
+        ]
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover
+        where = str(self.cache.dir) if self.cache is not None else "disabled"
+        return f"Session(jobs={self.jobs}, cache={where!r})"
+
+
+# ----------------------------------------------------------------------
+# Process-wide default session (backs the legacy module-level helpers).
+# ----------------------------------------------------------------------
+_default_session: Session | None = None
+
+
+def default_session() -> Session:
+    """The lazily-created session behind the legacy module-level API."""
+    global _default_session
+    if _default_session is None:
+        _default_session = Session()
+    return _default_session
+
+
+def set_default_session(session: Session | None) -> None:
+    """Replace (or with ``None``, reset) the process-wide default session."""
+    global _default_session
+    _default_session = session

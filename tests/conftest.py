@@ -3,13 +3,35 @@
 Full scenario runs are the expensive part of this suite, so the fixtures
 here are deliberately tiny (few nodes, short durations) and session-scoped;
 tests that need bigger runs build their own.
+
+The suite also redirects the runtime layer's persistent artifact cache
+(``$REPRO_CACHE_DIR``) into a per-run temporary directory, so tests never
+read or pollute the user's ``~/.cache/repro`` and every run starts cold.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.simulation.scenario import ScenarioConfig, SimulationTrace, run_scenario
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Point the default artifact cache at a throwaway directory."""
+    from repro.runtime.session import set_default_session
+
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("artifact-cache"))
+    set_default_session(None)  # drop any session built against the old dir
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+    set_default_session(None)
 
 
 def small_config(**overrides) -> ScenarioConfig:

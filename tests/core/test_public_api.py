@@ -17,9 +17,14 @@ class TestTopLevelApi:
 
     def test_readme_quickstart_symbols(self):
         """The objects the README's quickstart uses are all exported."""
-        for name in ("ExperimentPlan", "cached_bundle", "run_detection_experiment",
+        for name in ("ExperimentPlan", "Session", "run_detection_experiment",
                      "CrossFeatureDetector", "extract_features", "run_scenario",
-                     "ScenarioConfig"):
+                     "ScenarioConfig", "RuntimeMetrics"):
+            assert name in repro.__all__, name
+
+    def test_legacy_helpers_still_exported(self):
+        """Deprecated pre-Session entry points remain importable."""
+        for name in ("cached_bundle", "cached_result", "simulate_bundle"):
             assert name in repro.__all__, name
 
     def test_classifier_registry_complete(self):

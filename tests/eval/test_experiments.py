@@ -9,8 +9,8 @@ from repro.eval.experiments import (
     ExperimentPlan,
     four_scenarios,
     run_detection_experiment,
-    simulate_bundle,
 )
+from repro.runtime import Session
 
 SMALL_PLAN = ExperimentPlan(
     n_nodes=10,
@@ -27,7 +27,7 @@ SMALL_PLAN = ExperimentPlan(
 
 @pytest.fixture(scope="module")
 def small_bundle():
-    return simulate_bundle(SMALL_PLAN)
+    return Session().bundle(SMALL_PLAN)
 
 
 class TestPlan:
@@ -37,6 +37,14 @@ class TestPlan:
     def test_monitor_must_differ_from_attacker(self):
         with pytest.raises(ValueError):
             ExperimentPlan(n_nodes=5, monitor=4)
+
+    def test_degenerate_node_counts_rejected(self):
+        """Regression: n_nodes < 2 must fail loudly, not via the
+        monitor/attacker clash (n_nodes=1) or silently (n_nodes=0,
+        where attacker=-1 used to slip past __post_init__)."""
+        for n in (0, 1, -3):
+            with pytest.raises(ValueError, match="n_nodes"):
+                ExperimentPlan(n_nodes=n)
 
     def test_unknown_attack_kind_rejected(self):
         with pytest.raises(ValueError):
@@ -75,9 +83,10 @@ class TestBundle:
         assert small_bundle.abnormal_evals[0].labels.any()
 
     def test_train_concatenates_seeds(self):
+        session = Session()
         plan = replace(SMALL_PLAN, train_seeds=(1, 5))
-        bundle = simulate_bundle(plan)
-        single = simulate_bundle(SMALL_PLAN)
+        bundle = session.bundle(plan)
+        single = session.bundle(SMALL_PLAN)
         assert len(bundle.train) == 2 * len(single.train)
 
 

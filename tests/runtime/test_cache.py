@@ -1,0 +1,156 @@
+"""Artifact cache: keying, round-trips, corruption tolerance, eviction."""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.runtime.cache import (
+    ArtifactCache,
+    attack_signature,
+    canonicalize,
+    code_version,
+    default_cache_dir,
+    stable_key,
+)
+from repro.runtime.metrics import RuntimeMetrics
+from repro.simulation.scenario import ScenarioConfig
+
+
+class TestStableKey:
+    def test_deterministic_across_calls(self):
+        cfg = ScenarioConfig(n_nodes=8, duration=100.0)
+        assert stable_key(("trace", cfg)) == stable_key(("trace", cfg))
+
+    def test_equal_configs_share_keys(self):
+        a = ScenarioConfig(n_nodes=8, duration=100.0)
+        b = ScenarioConfig(n_nodes=8, duration=100.0)
+        assert a is not b
+        assert stable_key(a) == stable_key(b)
+
+    def test_any_field_change_changes_key(self):
+        base = ScenarioConfig(n_nodes=8, duration=100.0)
+        for other in (
+            replace(base, seed=2),
+            replace(base, duration=101.0),
+            replace(base, protocol="dsr"),
+            replace(base, loss_rate=0.01),
+        ):
+            assert stable_key(other) != stable_key(base)
+
+    def test_code_version_participates(self):
+        cfg = ScenarioConfig()
+        assert stable_key(cfg, version="aaaa") != stable_key(cfg, version="bbbb")
+
+    def test_code_version_is_stable_hex(self):
+        v = code_version()
+        assert v == code_version()
+        int(v, 16)  # hex digest prefix
+
+    def test_uncanonicalisable_objects_rejected(self):
+        with pytest.raises(TypeError):
+            canonicalize(object())
+
+    def test_float_canonical_form_round_trips(self):
+        assert canonicalize(0.1) == format(0.1, ".17g")
+        assert float(canonicalize(1 / 3)) == 1 / 3
+
+
+class TestAttackSignature:
+    def test_signature_ignores_runtime_wiring(self):
+        from repro.attacks import BlackholeAttack
+
+        a = BlackholeAttack(attacker=5, sessions=[(10.0, 20.0)])
+        b = BlackholeAttack(attacker=5, sessions=[(10.0, 20.0)])
+        b.sim = object()  # pretend b was installed
+        assert attack_signature(a) == attack_signature(b)
+
+    def test_signature_sees_composition_changes(self):
+        from repro.attacks import DropMode, PacketDroppingAttack
+
+        a = PacketDroppingAttack(attacker=5, sessions=[(10.0, 20.0)],
+                                 mode=DropMode.CONSTANT)
+        b = PacketDroppingAttack(attacker=5, sessions=[(10.0, 20.0)],
+                                 mode=DropMode.RANDOM, drop_prob=0.3)
+        assert attack_signature(a) != attack_signature(b)
+
+
+class TestArtifactCache:
+    def test_round_trip(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache.key(("unit", 1))
+        assert cache.get(key) is None
+        assert cache.put(key, {"payload": [1, 2, 3]})
+        assert cache.get(key) == {"payload": [1, 2, 3]}
+
+    def test_corrupt_entry_is_a_miss_and_heals(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache.key("corrupt-me")
+        cache.put(key, "fine")
+        path = cache._path(key)
+        path.write_bytes(b"\x00not a pickle at all")
+        assert cache.get(key) is None
+        assert not path.exists()  # the bad entry was deleted
+        cache.put(key, "fresh")  # slot is usable again
+        assert cache.get(key) == "fresh"
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        key = cache.key("truncate-me")
+        cache.put(key, list(range(1000)))
+        path = cache._path(key)
+        path.write_bytes(path.read_bytes()[:10])  # simulate a killed writer
+        assert cache.get(key) is None
+
+    def test_entry_count_eviction_drops_oldest(self, tmp_path):
+        metrics = RuntimeMetrics()
+        cache = ArtifactCache(tmp_path, max_entries=2, metrics=metrics)
+        keys = [cache.key(f"entry-{i}") for i in range(3)]
+        now = time.time()
+        cache.put(keys[0], 0)
+        os.utime(cache._path(keys[0]), (now - 300, now - 300))
+        cache.put(keys[1], 1)
+        os.utime(cache._path(keys[1]), (now - 200, now - 200))
+        cache.put(keys[2], 2)  # exceeds max_entries: oldest must go
+        n, _ = cache.stats()
+        assert n == 2
+        assert cache.get(keys[0]) is None  # oldest evicted
+        assert cache.get(keys[2]) == 2
+        assert metrics.evictions == 1
+
+    def test_byte_budget_eviction(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_bytes=1, max_entries=100)
+        cache.put(cache.key("a"), "x" * 4096)
+        cache.put(cache.key("b"), "y" * 4096)
+        n, size = cache.stats()
+        assert n <= 1  # over-budget entries were dropped
+
+    def test_hits_refresh_lru_position(self, tmp_path):
+        cache = ArtifactCache(tmp_path, max_entries=2)
+        k1, k2, k3 = (cache.key(i) for i in range(3))
+        now = time.time()
+        cache.put(k1, 1)
+        os.utime(cache._path(k1), (now - 60, now - 60))
+        cache.put(k2, 2)
+        os.utime(cache._path(k2), (now - 30, now - 30))
+        assert cache.get(k1) == 1  # touch k1: now newer than k2
+        cache.put(k3, 3)
+        assert cache.get(k2) is None  # k2 was the LRU entry
+        assert cache.get(k1) == 1
+
+    def test_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        for i in range(3):
+            cache.put(cache.key(i), i)
+        assert cache.clear() == 3
+        assert cache.stats() == (0, 0)
+
+    def test_env_var_controls_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "via-env"))
+        assert default_cache_dir() == tmp_path / "via-env"
+        cache = ArtifactCache()
+        assert cache.dir == tmp_path / "via-env"
+        assert cache.dir.is_dir()

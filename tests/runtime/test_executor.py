@@ -1,0 +1,99 @@
+"""Trace executor: ordering, determinism, timing, serial fallback."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.runtime.executor as executor_mod
+from repro.features.extraction import extract_features
+from repro.runtime.executor import TraceExecutor, TraceTask
+from repro.runtime.metrics import RuntimeMetrics
+from repro.simulation.scenario import ScenarioConfig
+
+from tests.conftest import small_config
+
+
+def tiny_config(seed: int) -> ScenarioConfig:
+    return small_config(n_nodes=6, duration=100.0, max_connections=5, seed=seed)
+
+
+def trace_fingerprint(trace) -> tuple:
+    """Observables that pin down a trace bit-for-bit for our purposes."""
+    features = extract_features(trace, monitor=0, periods=(5.0,), warmup=0.0)
+    return (
+        trace.data_originated,
+        trace.data_delivered,
+        tuple(trace.tick_times),
+        features.X.tobytes(),
+    )
+
+
+class TestExecutor:
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ValueError):
+            TraceExecutor(jobs=0)
+
+    def test_empty_batch(self):
+        assert TraceExecutor(jobs=4).run([]) == []
+
+    def test_results_preserve_task_order(self):
+        tasks = [TraceTask(tiny_config(seed), (), f"t{seed}") for seed in (5, 6, 7)]
+        traces = TraceExecutor(jobs=3).run(tasks)
+        for task, trace in zip(tasks, traces):
+            assert trace.config.seed == task.config.seed
+
+    def test_parallel_matches_serial(self):
+        """The acceptance property: jobs=N and jobs=1 agree bit-for-bit."""
+        tasks = [TraceTask(tiny_config(seed), (), f"t{seed}") for seed in (5, 6, 7)]
+        serial = TraceExecutor(jobs=1).run(tasks)
+        parallel = TraceExecutor(jobs=3).run(tasks)
+        for a, b in zip(serial, parallel):
+            assert trace_fingerprint(a) == trace_fingerprint(b)
+
+    def test_metrics_record_each_trace(self):
+        metrics = RuntimeMetrics()
+        tasks = [TraceTask(tiny_config(seed), (), f"t{seed}") for seed in (5, 6)]
+        TraceExecutor(jobs=1, metrics=metrics).run(tasks)
+        assert metrics.simulations == 2
+        assert sorted(label for label, _ in metrics.trace_seconds) == ["t5", "t6"]
+        assert all(seconds >= 0 for _, seconds in metrics.trace_seconds)
+
+    def test_falls_back_to_serial_when_pool_unavailable(self, monkeypatch):
+        class NoPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no semaphores in this sandbox")
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", NoPool)
+        metrics = RuntimeMetrics()
+        tasks = [TraceTask(tiny_config(seed), (), f"t{seed}") for seed in (5, 6)]
+        traces = TraceExecutor(jobs=2, metrics=metrics).run(tasks)
+        assert [t.config.seed for t in traces] == [5, 6]
+        assert metrics.fallbacks == 1
+        assert metrics.simulations == 2
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_simulation_errors_propagate(self, jobs):
+        """Real simulation failures are not swallowed by the fallback."""
+        from repro.attacks import BlackholeAttack
+
+        bad = TraceTask(
+            tiny_config(5),
+            (BlackholeAttack(attacker=99, sessions=[(10.0, 20.0)]),),  # out of range
+            "bad",
+        )
+        with pytest.raises(ValueError, match="attacker id"):
+            TraceExecutor(jobs=jobs).run([bad, TraceTask(tiny_config(6), (), "ok")])
+
+    def test_attack_tasks_round_trip(self):
+        """Attack compositions survive the (potential) pickle boundary."""
+        from repro.attacks import BlackholeAttack
+
+        config = tiny_config(9)
+        attacks = (BlackholeAttack(attacker=5, sessions=[(30.0, 60.0)]),)
+        serial = TraceExecutor(jobs=1).run([TraceTask(config, attacks, "atk")])
+        attacks2 = (BlackholeAttack(attacker=5, sessions=[(30.0, 60.0)]),)
+        parallel = TraceExecutor(jobs=2).run(
+            [TraceTask(config, attacks2, "atk"), TraceTask(tiny_config(10), (), "n")]
+        )
+        assert trace_fingerprint(serial[0]) == trace_fingerprint(parallel[0])
+        assert serial[0].attack_intervals == [(30.0, 60.0)]
