@@ -1,0 +1,102 @@
+"""Chaos benchmark: a full fault gauntlet against the supervised runtime.
+
+Runs one detection experiment while a deterministic :class:`FaultPlan`
+throws every failure mode the supervisor handles — a worker crash, a hung
+task, a transient in-task error and a burst of cache write faults — and
+asserts the headline robustness property: the run *completes*, recovers
+each fault with only the affected task re-run, and produces **bit
+identical** detection numbers to a fault-free serial run.
+
+Counters (not clocks) carry the assertions, so the bench is robust on
+any machine; wall-clock and the recovery summary are printed for the
+record.  CI runs this file alongside the tier-1 suite in the
+robustness matrix leg (see .github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from repro.runtime import FaultPlan, FaultSpec, Session
+
+from benchmarks.conftest import BENCH_PLAN, print_header
+
+#: Runtime-layer scale (matches test_runtime_speedup): the traces only
+#: need to cost enough for supervision events to be observable.
+CHAOS_PLAN = replace(
+    BENCH_PLAN,
+    n_nodes=10,
+    duration=200.0,
+    max_connections=10,
+    periods=(5.0, 60.0),
+    warmup=50.0,
+)
+N_TRACES = (len(CHAOS_PLAN.train_seeds) + 1
+            + len(CHAOS_PLAN.normal_seeds) + len(CHAOS_PLAN.attack_seeds))
+
+#: The gauntlet: one of each simulation fault kind on distinct tasks,
+#: plus cache write faults on the first two flushes.  `hang` sleeps far
+#: past the task timeout so the deadline supervisor must fire.  The hang
+#: and error faults match submissions (1, 2): the crash breaks the whole
+#: pool, so sibling tasks' first submissions may be requeued unexecuted —
+#: matching the second submission too guarantees each fault actually
+#: fires while staying inside the default retry budget.
+GAUNTLET = FaultPlan((
+    FaultSpec("crash", 0, (1,)),
+    FaultSpec("hang", 2, (1, 2), seconds=300.0),
+    FaultSpec("error", 4, (1, 2)),
+    FaultSpec("cache-enospc", 0),
+    FaultSpec("cache-corrupt", 1),
+))
+
+
+def test_chaos_gauntlet_recovers_bit_identically(tmp_path):
+    clean = Session(cache_dir=tmp_path / "clean", jobs=1)
+    t0 = time.perf_counter()
+    clean_result = clean.detect(CHAOS_PLAN, classifier="nbc")
+    clean_seconds = time.perf_counter() - t0
+
+    chaos = Session(
+        cache_dir=tmp_path / "chaos",
+        jobs=2,
+        task_timeout=10.0,
+        faults=GAUNTLET,
+    )
+    t0 = time.perf_counter()
+    chaos_result = chaos.detect(CHAOS_PLAN, classifier="nbc")
+    chaos_seconds = time.perf_counter() - t0
+    m = chaos.metrics
+
+    print_header("Chaos: crash + hang + error + disk faults, jobs=2")
+    print(f"  clean serial : {clean_seconds:6.2f}s  ({clean.metrics.summary()})")
+    print(f"  fault gauntlet: {chaos_seconds:6.2f}s  ({m.summary()})")
+    print(f"  recovery: {m.retries} retries, {m.timeouts} timeouts, "
+          f"{m.requeues} requeues, {m.respawns} pool respawns, "
+          f"{m.cache_write_failures} cache write failures")
+
+    # The run survived every injected fault with zero task failures...
+    assert m.task_failures == 0
+    # ...each fault was actually thrown and recovered...
+    assert m.timeouts >= 1                    # the hung task
+    assert m.retries >= 2                     # hang requeue + transient error
+    assert m.respawns >= 1                    # the crashed / hung workers
+    assert m.cache_write_failures >= 1        # ENOSPC burst, then recovery
+    # ...only affected tasks re-ran: every trace simulated exactly once
+    # per *successful* attempt, never double-counted.
+    labels = [label for label, _ in m.trace_seconds]
+    assert sorted(labels) == sorted(set(labels))
+    assert m.simulations == N_TRACES
+
+    # The headline: the numbers never move.
+    assert chaos_result.scores.tobytes() == clean_result.scores.tobytes()
+    assert chaos_result.auc == clean_result.auc
+    assert chaos_result.threshold == clean_result.threshold
+
+    # The corrupt cache entry heals on the next read: a fresh session
+    # over the chaos cache re-simulates only the torn artifact.
+    reader = Session(cache_dir=tmp_path / "chaos", jobs=1)
+    reread = reader.detect(CHAOS_PLAN, classifier="nbc")
+    assert reread.scores.tobytes() == clean_result.scores.tobytes()
+    assert reader.metrics.simulations <= 2    # torn entry + ENOSPC victim
+    print(f"  re-read over chaos cache: {reader.metrics.summary()}")

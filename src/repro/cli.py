@@ -47,27 +47,55 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable the persistent artifact cache for this run",
     )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-trace wall-clock budget under --jobs > 1; a hung "
+             "simulation is cancelled and retried (default: no timeout)",
+    )
+    parser.add_argument(
+        "--task-retries", type=int, default=None, metavar="N",
+        help="retry budget per trace before the run fails (default: 2)",
+    )
+    # Hidden chaos-testing hook: a deterministic fault-injection script,
+    # e.g. --inject-faults crash:2,hang:0:1+2,cache-enospc:1
+    # (see repro.runtime.faults.FaultPlan.parse).  CI uses it to exercise
+    # every recovery path; it is not part of the supported interface.
+    parser.add_argument("--inject-faults", default=None, help=argparse.SUPPRESS)
 
 
 def _progress_printer(event) -> None:
     """Live per-trace progress lines, fed by the metrics hook."""
     if event.kind == "cache_hit":
         print(f"  [cache]  {event.label}")
+    elif event.kind == "resumed":
+        print(f"  [resume] {event.label}")
     elif event.kind == "simulated":
         print(f"  [sim]    {event.label}  ({event.seconds:.1f}s)")
-    elif event.kind == "fallback":
+    elif event.kind == "retry":
+        print(f"  [retry]  {event.label}")
+    elif event.kind == "timeout":
+        print(f"  [timeout] {event.label}  (limit {event.seconds:.0f}s)")
+    elif event.kind in ("fallback", "respawn", "task_failed", "pool_failed",
+                        "cache_write_failed", "cache_off"):
         print(f"  [runtime] {event.label}")
 
 
 def _build_session(args: argparse.Namespace):
     """A Session wired to the CLI's runtime flags + live progress."""
-    from repro.runtime import RuntimeMetrics, Session
+    from repro.runtime import FaultPlan, RuntimeMetrics, Session
 
+    faults = (
+        FaultPlan.parse(args.inject_faults)
+        if getattr(args, "inject_faults", None) else None
+    )
     return Session(
         cache_dir=args.cache_dir,
         jobs=args.jobs,
         cache=not args.no_cache,
         metrics=RuntimeMetrics(on_event=_progress_printer),
+        task_timeout=args.task_timeout,
+        max_retries=args.task_retries,
+        faults=faults,
     )
 
 

@@ -19,13 +19,22 @@ Design points (see DESIGN.md §"Runtime layer"):
   writer can never leave a half-written entry under a live key.
 * **Corruption tolerance** — an unreadable or unpicklable entry is treated
   as a miss and deleted; callers fall back to re-simulation.
+* **Write degradation** — a full or read-only disk never crashes a run:
+  each refused write is counted, and after a few consecutive failures the
+  cache flips to read-only for the rest of the process (cache-off, not
+  crash).
 * **Eviction** — least-recently-used by file mtime (touched on every hit),
   bounded by ``max_entries`` and ``max_bytes``.
+
+The module also hosts :class:`ResumeJournal` — the append-only record of
+completed trace keys that :class:`~repro.runtime.session.Session` writes
+next to the cache so an interrupted sweep resumes instead of restarting.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import errno
 import hashlib
 import json
 import os
@@ -36,6 +45,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.faults import FaultPlan
     from repro.runtime.metrics import RuntimeMetrics
 
 #: Packages whose source participates in the artifact code version — the
@@ -149,11 +159,17 @@ class ArtifactCache:
         entries are removed after every write until both hold.
     metrics:
         Optional :class:`~repro.runtime.metrics.RuntimeMetrics` that
-        receives eviction events.  Hit/miss accounting stays with the
-        caller, which knows what the artifact *is*.
+        receives eviction and write-failure events.  Hit/miss accounting
+        stays with the caller, which knows what the artifact *is*.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultPlan`; cache-kind
+        specs are matched against this instance's put ordinal
+        (deterministic fault injection for tests).
     """
 
     _SUFFIX = ".pkl"
+    #: Consecutive refused writes before the cache degrades to read-only.
+    _DISABLE_WRITES_AFTER = 3
 
     def __init__(
         self,
@@ -161,12 +177,25 @@ class ArtifactCache:
         max_entries: int = 512,
         max_bytes: int = 4 << 30,
         metrics: "RuntimeMetrics | None" = None,
+        faults: "FaultPlan | None" = None,
     ):
         self.dir = Path(cache_dir).expanduser() if cache_dir is not None else default_cache_dir()
         self.max_entries = max_entries
         self.max_bytes = max_bytes
         self.metrics = metrics
-        self.dir.mkdir(parents=True, exist_ok=True)
+        self.faults = faults
+        self.writes_disabled = False
+        self._put_ordinal = 0
+        self._consecutive_write_failures = 0
+        try:
+            self.dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            # Unwritable cache location: degrade to cache-off, never crash.
+            self.writes_disabled = True
+            if self.metrics is not None:
+                self.metrics.record_cache_disabled(
+                    f"cannot create cache dir {self.dir}: {exc}"
+                )
 
     # ------------------------------------------------------------------
     def key(self, payload: Any) -> str:
@@ -203,16 +232,51 @@ class ArtifactCache:
         """Atomically store an artifact; returns False if the disk refused.
 
         Write failures (full/read-only filesystem) are non-fatal: the
-        session simply keeps its in-memory copy.
+        session simply keeps its in-memory copy.  After
+        ``_DISABLE_WRITES_AFTER`` *consecutive* failures the cache stops
+        attempting writes for the rest of the process — a dead disk is
+        not hammered once per trace — while reads stay live.
         """
+        fault = (
+            self.faults.cache_fault(self._put_ordinal)
+            if self.faults is not None else None
+        )
+        self._put_ordinal += 1
+        if self.writes_disabled:
+            return False
         path = self._path(key)
         tmp = self.dir / f".{key}.{os.getpid()}.tmp"
         try:
-            tmp.write_bytes(pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL))
+            if fault is not None and fault.kind == "cache-enospc":
+                raise OSError(errno.ENOSPC, "injected: no space left on device")
+            if fault is not None and fault.kind == "cache-corrupt":
+                # A torn write: bytes land on disk but are not a pickle.
+                tmp.write_bytes(b"\x00injected corrupt artifact")
+            else:
+                tmp.write_bytes(
+                    pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+                )
             os.replace(tmp, path)
-        except (OSError, pickle.PicklingError):
-            tmp.unlink(missing_ok=True)
+        except (OSError, pickle.PicklingError) as exc:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - read-only dir refuses unlink too
+                pass
+            self._consecutive_write_failures += 1
+            if self.metrics is not None:
+                self.metrics.record_cache_write_failure(
+                    f"{type(exc).__name__}: {exc}"
+                )
+            if (not self.writes_disabled
+                    and self._consecutive_write_failures >= self._DISABLE_WRITES_AFTER):
+                self.writes_disabled = True
+                if self.metrics is not None:
+                    self.metrics.record_cache_disabled(
+                        f"{self._consecutive_write_failures} consecutive "
+                        f"write failures; cache is now read-only"
+                    )
             return False
+        self._consecutive_write_failures = 0
         self._evict()
         return True
 
@@ -255,3 +319,62 @@ class ArtifactCache:
     def __repr__(self) -> str:  # pragma: no cover
         n, size = self.stats()
         return f"ArtifactCache({str(self.dir)!r}, {n} entries, {size / 1e6:.1f} MB)"
+
+
+class ResumeJournal:
+    """Append-only, crash-tolerant record of completed trace keys.
+
+    The session appends one line per trace the moment its artifact is
+    safely in the cache, fsync-ing each append, so the journal is always
+    a true lower bound on completed work: a run killed mid-sweep leaves
+    a journal naming exactly the traces that need no re-simulation.  A
+    torn final line (the process died mid-append) is ignored on load —
+    losing one key costs one redundant simulation, never correctness.
+
+    Format: one 64-hex content-address per line; ``#`` lines are
+    comments.  Keys are content-addressed (they embed the code version),
+    so a stale journal from an older simulator simply never matches.
+    """
+
+    _HEADER = "# repro sweep journal v1\n"
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+
+    def load(self) -> frozenset[str]:
+        """Every intact journaled key (unreadable journal = empty)."""
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return frozenset()
+        keys = set()
+        for line in text.splitlines():
+            line = line.strip()
+            if len(line) == 64 and not line.startswith("#"):
+                try:
+                    int(line, 16)
+                except ValueError:
+                    continue
+                keys.add(line)
+        return frozenset(keys)
+
+    def record(self, key: str) -> None:
+        """Durably append one completed key (best-effort: an unwritable
+        journal degrades resumability, never the run)."""
+        try:
+            new = not self.path.exists()
+            with open(self.path, "a", encoding="utf-8") as fh:
+                if new:
+                    fh.write(self._HEADER)
+                fh.write(key + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError:
+            pass
+
+    def clear(self) -> None:
+        """Forget every journaled key (start the next sweep cold)."""
+        self.path.unlink(missing_ok=True)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ResumeJournal({str(self.path)!r}, {len(self.load())} keys)"

@@ -1,0 +1,190 @@
+"""Deterministic fault injection for the runtime layer.
+
+The supervised executor and the artifact cache promise to survive worker
+crashes, hung simulations, pickling failures and disk faults.  Those
+recovery paths are worthless if they only run the day production breaks,
+so this module makes every fault *injectable on demand*: a
+:class:`FaultPlan` is a small, picklable script of :class:`FaultSpec`\\ s
+("the 3rd task crashes its worker on its first submission", "the 2nd
+cache write hits ENOSPC") threaded through ``Session(faults=...)`` and
+the hidden ``--inject-faults`` CLI flag.  CI exercises each path
+deterministically — same plan, same seed, same recovery — instead of
+trusting it on faith.
+
+Simulation faults (matched by **task index** within the executor batch
+and **submission number**, so a fault can fire on the first attempt and
+vanish on the retry):
+
+* ``crash`` — the worker process dies mid-task (``os._exit``), breaking
+  the pool exactly like a segfault or OOM kill; under serial execution it
+  degrades to an :class:`InjectedFault` (a plain process can't survive
+  killing itself).
+* ``hang`` — the task sleeps ``seconds`` before simulating, tripping the
+  supervisor's per-task timeout.
+* ``error`` — the task raises :class:`InjectedFault`, a stand-in for any
+  in-simulation exception.
+* ``unpicklable`` — the task raises :class:`pickle.PicklingError`, the
+  observable a worker produces when its payload refuses to serialise.
+
+Cache faults (matched by **put ordinal** — the Nth ``ArtifactCache.put``
+of the process):
+
+* ``cache-corrupt`` — the entry is written as garbage bytes (a torn or
+  bit-rotted artifact); a later read must treat it as a miss and heal.
+* ``cache-enospc`` — the write raises ``OSError(ENOSPC)`` (full disk);
+  the cache must degrade, never crash the run.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random as _random
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+#: Fault kinds applied inside the simulation task itself.
+SIM_KINDS = ("crash", "hang", "error", "unpicklable")
+#: Fault kinds applied to artifact-cache writes.
+CACHE_KINDS = ("cache-corrupt", "cache-enospc")
+KINDS = SIM_KINDS + CACHE_KINDS
+
+
+class InjectedFault(RuntimeError):
+    """An exception raised on purpose by a tripped fault spec."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault.
+
+    ``index`` is the executor-batch task index for simulation kinds and
+    the cache put ordinal for cache kinds.  ``submissions`` names which
+    submissions of the task trip the fault (1-based; requeues after a
+    pool respawn advance the submission number too), so the default
+    ``(1,)`` produces a *transient* fault that the retry recovers from.
+    """
+
+    kind: str
+    index: int = 0
+    submissions: tuple[int, ...] = (1,)
+    seconds: float = 3600.0  #: sleep length for ``hang`` faults
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (choose from {KINDS})")
+        if self.index < 0:
+            raise ValueError("fault index must be >= 0")
+        object.__setattr__(self, "submissions", tuple(self.submissions))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic script of faults for one run.
+
+    Plans are immutable and picklable: the executor ships the matched
+    spec with the task into the worker process, so the fault fires at
+    the same place whether the task runs in a pool or serially.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    # ------------------------------------------------------------------
+    def sim_fault(self, index: int, submission: int) -> FaultSpec | None:
+        """The fault (if any) tripping task ``index``'s Nth submission."""
+        for spec in self.specs:
+            if spec.kind in SIM_KINDS and spec.index == index \
+                    and submission in spec.submissions:
+                return spec
+        return None
+
+    def cache_fault(self, ordinal: int) -> FaultSpec | None:
+        """The fault (if any) tripping the Nth cache write (0-based)."""
+        for spec in self.specs:
+            if spec.kind in CACHE_KINDS and spec.index == ordinal:
+                return spec
+        return None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse the ``--inject-faults`` mini-language.
+
+        Comma-separated ``kind:index[:submissions]`` clauses, where
+        ``submissions`` is ``+``-joined 1-based submission numbers::
+
+            crash:2             # task 2's worker dies on its 1st submission
+            hang:0:1+2          # task 0 hangs on submissions 1 AND 2
+            cache-enospc:1      # the 2nd cache write hits a full disk
+        """
+        specs = []
+        for clause in text.split(","):
+            clause = clause.strip()
+            if not clause:
+                continue
+            bits = clause.split(":")
+            if len(bits) > 3:
+                raise ValueError(f"malformed fault clause {clause!r}")
+            kind = bits[0]
+            try:
+                index = int(bits[1]) if len(bits) > 1 else 0
+                submissions = (
+                    tuple(int(b) for b in bits[2].split("+"))
+                    if len(bits) > 2 else (1,)
+                )
+            except ValueError as exc:
+                raise ValueError(f"malformed fault clause {clause!r}") from exc
+            specs.append(FaultSpec(kind, index, submissions))
+        return cls(tuple(specs))
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_tasks: int,
+        kinds: Sequence[str] = ("crash", "error", "unpicklable"),
+        count: int = 1,
+    ) -> "FaultPlan":
+        """A seed-driven plan: ``count`` transient faults over ``n_tasks``.
+
+        The same seed always yields the same plan — chaos testing stays
+        reproducible.  ``hang`` is excluded by default because it only
+        terminates under a configured task timeout.
+        """
+        rng = _random.Random(seed)
+        specs = tuple(
+            FaultSpec(rng.choice(list(kinds)), rng.randrange(n_tasks))
+            for _ in range(count)
+        )
+        return cls(specs)
+
+
+def trip_sim_fault(spec: FaultSpec, in_pool: bool) -> None:
+    """Apply a simulation fault inside the (worker) task.
+
+    Called by the executor's task wrapper before the simulation runs;
+    ``in_pool`` distinguishes a real worker process (where ``crash`` can
+    genuinely die) from in-process serial execution.
+    """
+    if spec.kind == "hang":
+        time.sleep(spec.seconds)
+    elif spec.kind == "crash":
+        if in_pool:
+            import os
+
+            os._exit(66)  # immediate death: no atexit, no cleanup — a real crash
+        raise InjectedFault(
+            f"injected worker crash on task {spec.index} (serial execution)"
+        )
+    elif spec.kind == "error":
+        raise InjectedFault(f"injected task error on task {spec.index}")
+    elif spec.kind == "unpicklable":
+        raise pickle.PicklingError(
+            f"injected pickling failure on task {spec.index}"
+        )

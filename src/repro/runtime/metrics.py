@@ -2,14 +2,17 @@
 
 A :class:`RuntimeMetrics` instance rides along with every
 :class:`~repro.runtime.session.Session`: the executor reports per-trace
-wall-clock, the artifact cache reports hits / misses / evictions, and an
-optional callback hook receives each :class:`TraceEvent` as it happens —
-the CLI uses it to print live progress while traces simulate.
+wall-clock plus every supervision decision (retries, timeouts, requeues,
+pool respawns, permanent failures), the artifact cache reports hits /
+misses / evictions / write failures, the resume journal reports traces
+recovered from an interrupted sweep, and an optional callback hook
+receives each :class:`TraceEvent` as it happens — the CLI uses it to
+print live progress while traces simulate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 
@@ -24,8 +27,28 @@ class TraceEvent:
     * ``"simulated"`` — a trace finished simulating (``seconds`` holds its
       wall-clock);
     * ``"evicted"`` — a cache entry was removed by the eviction policy;
-    * ``"fallback"`` — the process pool was unavailable and the executor
-      fell back to serial execution (``label`` holds the reason).
+    * ``"fallback"`` — the process pool was unavailable (or its respawn
+      budget ran out) and the executor fell back to serial execution
+      (``label`` holds the reason);
+    * ``"retry"`` — a failed or timed-out task was resubmitted
+      (``seconds`` holds the backoff that preceded it);
+    * ``"timeout"`` — a task overran the per-task timeout and its worker
+      was cancelled (``seconds`` holds the limit);
+    * ``"requeue"`` — an unfinished task was resubmitted after a pool
+      respawn through no fault of its own (no retry budget charged);
+    * ``"respawn"`` — a broken or deliberately killed process pool was
+      replaced (``label`` holds the reason);
+    * ``"resumed"`` — a journaled trace from an interrupted sweep was
+      served from the cache instead of re-simulating;
+    * ``"task_failed"`` — a task exhausted its retry budget (``label``
+      holds the task label, the failure is in the final
+      :class:`~repro.runtime.executor.FailureReport`);
+    * ``"pool_failed"`` — pool infrastructure failed permanently
+      (``label`` holds the reason);
+    * ``"cache_write_failed"`` — an artifact-cache write was refused by
+      the disk (``label`` holds the error);
+    * ``"cache_off"`` — repeated write failures disabled cache writes for
+      the rest of the run.
     """
 
     kind: str
@@ -51,6 +74,14 @@ class RuntimeMetrics:
         self.simulations = 0
         self.evictions = 0
         self.fallbacks = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.requeues = 0
+        self.respawns = 0
+        self.resumed = 0
+        self.task_failures = 0
+        self.pool_failures = 0
+        self.cache_write_failures = 0
         #: (label, wall-clock seconds) per simulated trace, completion order.
         self.trace_seconds: list[tuple[str, float]] = []
 
@@ -85,6 +116,52 @@ class RuntimeMetrics:
         self.fallbacks += 1
         self._emit("fallback", reason)
 
+    # -- supervision ---------------------------------------------------
+    def record_retry(self, label: str, backoff: float = 0.0) -> None:
+        """A failed or timed-out task was resubmitted (budget charged)."""
+        self.retries += 1
+        self._emit("retry", label, backoff)
+
+    def record_timeout(self, label: str, limit: float = 0.0) -> None:
+        """A task overran the per-task timeout and was cancelled."""
+        self.timeouts += 1
+        self._emit("timeout", label, limit)
+
+    def record_requeue(self, label: str = "") -> None:
+        """An innocent unfinished task was resubmitted after a respawn."""
+        self.requeues += 1
+        self._emit("requeue", label)
+
+    def record_respawn(self, reason: str = "") -> None:
+        """A broken/killed process pool was replaced with a fresh one."""
+        self.respawns += 1
+        self._emit("respawn", reason)
+
+    def record_resumed(self, label: str = "") -> None:
+        """A journaled trace from an interrupted sweep was reused."""
+        self.resumed += 1
+        self._emit("resumed", label)
+
+    def record_task_failure(self, label: str, reason: str = "") -> None:
+        """A task exhausted its retry budget and failed permanently."""
+        self.task_failures += 1
+        self._emit("task_failed", f"{label}: {reason}" if reason else label)
+
+    def record_pool_failure(self, reason: str = "") -> None:
+        """Pool infrastructure failed permanently (respawn budget spent)."""
+        self.pool_failures += 1
+        self._emit("pool_failed", reason)
+
+    # -- cache resilience ----------------------------------------------
+    def record_cache_write_failure(self, reason: str = "") -> None:
+        """The disk refused an artifact-cache write (run continues)."""
+        self.cache_write_failures += 1
+        self._emit("cache_write_failed", reason)
+
+    def record_cache_disabled(self, reason: str = "") -> None:
+        """Repeated write failures switched the cache to read-only."""
+        self._emit("cache_off", reason)
+
     # ------------------------------------------------------------------
     @property
     def total_trace_seconds(self) -> float:
@@ -99,15 +176,37 @@ class RuntimeMetrics:
         self.simulations = 0
         self.evictions = 0
         self.fallbacks = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.requeues = 0
+        self.respawns = 0
+        self.resumed = 0
+        self.task_failures = 0
+        self.pool_failures = 0
+        self.cache_write_failures = 0
         self.trace_seconds = []
 
     def summary(self) -> str:
         """One-line human-readable state, used by the CLI."""
-        return (
+        base = (
             f"{self.simulations} simulated ({self.total_trace_seconds:.1f}s "
             f"trace wall-clock), cache {self.cache_hits} hit / "
             f"{self.cache_misses} miss, {self.evictions} evicted"
         )
+        extras = []
+        if self.resumed:
+            extras.append(f"{self.resumed} resumed")
+        if self.retries:
+            extras.append(f"{self.retries} retried")
+        if self.timeouts:
+            extras.append(f"{self.timeouts} timed out")
+        if self.respawns:
+            extras.append(f"{self.respawns} pool respawns")
+        if self.task_failures:
+            extras.append(f"{self.task_failures} failed")
+        if self.cache_write_failures:
+            extras.append(f"{self.cache_write_failures} cache write failures")
+        return base + (", " + ", ".join(extras) if extras else "")
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"RuntimeMetrics({self.summary()})"

@@ -28,6 +28,7 @@ The legacy module-level helpers (``cached_bundle`` / ``cached_result`` /
 from __future__ import annotations
 
 import os
+import warnings
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.eval.experiments import (
@@ -39,21 +40,45 @@ from repro.eval.experiments import (
     plan_sim_key,
     run_detection_experiment,
 )
-from repro.runtime.cache import ArtifactCache, attack_signature
-from repro.runtime.executor import TraceExecutor, TraceTask
+from repro.runtime.cache import ArtifactCache, ResumeJournal, attack_signature
+from repro.runtime.executor import SupervisionPolicy, TraceExecutor, TraceTask
+from repro.runtime.faults import FaultPlan
 from repro.runtime.metrics import RuntimeMetrics
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.attacks.base import Attack
     from repro.simulation.scenario import ScenarioConfig, SimulationTrace
 
+#: File name of the sweep resume journal inside the cache directory.
+_JOURNAL_NAME = "sweep.journal"
+
 
 def _env_jobs() -> int:
-    """Worker count from ``$REPRO_JOBS`` (defaults to 1 = serial)."""
+    """Worker count from ``$REPRO_JOBS`` (defaults to 1 = serial).
+
+    An unparsable or non-positive value warns loudly instead of silently
+    serialising a deployment that believed it configured a pool.
+    """
+    raw = os.environ.get("REPRO_JOBS", "1")
     try:
-        return max(1, int(os.environ.get("REPRO_JOBS", "1")))
+        jobs = int(raw)
     except ValueError:
+        warnings.warn(
+            f"ignoring invalid $REPRO_JOBS value {raw!r} (not an integer); "
+            f"running with 1 worker",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return 1
+    if jobs < 1:
+        warnings.warn(
+            f"ignoring invalid $REPRO_JOBS value {raw!r} (must be >= 1); "
+            f"running with 1 worker",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return 1
+    return jobs
 
 
 def _plan_tasks(plan: ExperimentPlan) -> list[TraceTask]:
@@ -109,6 +134,16 @@ class Session:
         memoise in memory within the session).
     max_entries, max_bytes:
         Cache eviction bounds, forwarded to :class:`ArtifactCache`.
+    policy:
+        A :class:`~repro.runtime.executor.SupervisionPolicy` controlling
+        per-task retries, timeout and pool respawns (defaults: 2 retries,
+        no timeout, 2 respawns).
+    task_timeout, max_retries:
+        Convenience overrides applied on top of ``policy`` — the knobs
+        the CLI exposes.
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultPlan` injected into
+        both the executor and the cache (deterministic chaos testing).
     """
 
     def __init__(
@@ -119,20 +154,47 @@ class Session:
         cache: bool = True,
         max_entries: int = 512,
         max_bytes: int = 4 << 30,
+        policy: SupervisionPolicy | None = None,
+        task_timeout: float | None = None,
+        max_retries: int | None = None,
+        faults: FaultPlan | None = None,
     ):
         self.jobs = _env_jobs() if jobs is None else max(1, int(jobs))
         self.metrics = metrics if metrics is not None else RuntimeMetrics()
+        policy = policy if policy is not None else SupervisionPolicy()
+        overrides = {}
+        if task_timeout is not None:
+            overrides["task_timeout"] = task_timeout
+        if max_retries is not None:
+            overrides["max_retries"] = max_retries
+        if overrides:
+            import dataclasses
+
+            policy = dataclasses.replace(policy, **overrides)
+        self.policy = policy
+        self.faults = faults
         self.cache: ArtifactCache | None = (
             ArtifactCache(
                 cache_dir=cache_dir,
                 max_entries=max_entries,
                 max_bytes=max_bytes,
                 metrics=self.metrics,
+                faults=faults,
             )
             if cache
             else None
         )
-        self.executor = TraceExecutor(jobs=self.jobs, metrics=self.metrics)
+        self.executor = TraceExecutor(
+            jobs=self.jobs, metrics=self.metrics, policy=self.policy, faults=faults
+        )
+        if self.cache is not None:
+            self.journal = ResumeJournal(self.cache.dir / _JOURNAL_NAME)
+            #: Keys completed by *previous* (possibly interrupted) runs;
+            #: cache hits on these count as resumed work, not plain hits.
+            self._journaled = self.journal.load()
+        else:
+            self.journal = None
+            self._journaled = frozenset()
         self._raw: dict[ExperimentPlan, RawTraces] = {}
         self._bundles: dict[ExperimentPlan, TraceBundle] = {}
         self._results: dict[tuple, DetectionResult] = {}
@@ -141,13 +203,23 @@ class Session:
     # Trace level
     # ------------------------------------------------------------------
     def _task_key(self, task: TraceTask) -> str:
-        assert self.cache is not None
+        if self.cache is None:
+            raise RuntimeError(
+                "Session._task_key requires the artifact cache; "
+                "this session was created with cache=False"
+            )
         return self.cache.key(
             ("trace", task.config, [attack_signature(a) for a in task.attacks])
         )
 
     def _traces(self, tasks: Sequence[TraceTask]) -> "list[SimulationTrace]":
-        """Resolve a batch of tasks through cache + executor, in order."""
+        """Resolve a batch of tasks through cache + executor, in order.
+
+        Fresh traces are flushed to the cache (and the resume journal)
+        *as they complete*, not at batch end — an interrupted or failed
+        batch loses only its in-flight work, and the next run picks up
+        from the journaled keys.
+        """
         tasks = list(tasks)
         results: list["SimulationTrace | None"] = [None] * len(tasks)
         pending: list[tuple[int, str | None, TraceTask]] = []
@@ -156,6 +228,8 @@ class Session:
                 key = self._task_key(task)
                 hit = self.cache.get(key)
                 if hit is not None:
+                    if key in self._journaled:
+                        self.metrics.record_resumed(task.label)
                     self.metrics.record_cache_hit(task.label)
                     results[i] = hit
                     continue
@@ -163,11 +237,22 @@ class Session:
                 pending.append((i, key, task))
             else:
                 pending.append((i, None, task))
-        fresh = self.executor.run([task for _, _, task in pending])
-        for (i, key, _), trace in zip(pending, fresh):
+        if not pending:
+            return results  # type: ignore[return-value]
+
+        def flush(batch_index: int, trace: "SimulationTrace") -> None:
+            i, key, _task = pending[batch_index]
             results[i] = trace
             if self.cache is not None and key is not None:
-                self.cache.put(key, trace)
+                if self.cache.put(key, trace) and self.journal is not None:
+                    self.journal.record(key)
+
+        fresh = self.executor.run(
+            [task for _, _, task in pending], on_result=flush
+        )
+        for (i, _key, _task), trace in zip(pending, fresh):
+            if results[i] is None:  # pragma: no cover - flush already filled these
+                results[i] = trace
         return results  # type: ignore[return-value]
 
     def trace(
@@ -191,11 +276,13 @@ class Session:
         plan draining its own 7-trace pool.
         """
         spans: list[tuple[ExperimentPlan, int, int]] = []
+        seen: set[ExperimentPlan] = set()
         all_tasks: list[TraceTask] = []
         for plan in plans:
             sim_key = plan_sim_key(plan)
-            if sim_key in self._raw or any(sk == sim_key for sk, _, _ in spans):
+            if sim_key in self._raw or sim_key in seen:
                 continue
+            seen.add(sim_key)
             tasks = _plan_tasks(sim_key)
             spans.append((sim_key, len(all_tasks), len(tasks)))
             all_tasks.extend(tasks)

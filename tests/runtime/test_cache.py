@@ -5,17 +5,20 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import replace
+from pathlib import Path
 
 import pytest
 
 from repro.runtime.cache import (
     ArtifactCache,
+    ResumeJournal,
     attack_signature,
     canonicalize,
     code_version,
     default_cache_dir,
     stable_key,
 )
+from repro.runtime.faults import FaultPlan, FaultSpec
 from repro.runtime.metrics import RuntimeMetrics
 from repro.simulation.scenario import ScenarioConfig
 
@@ -154,3 +157,159 @@ class TestArtifactCache:
         cache = ArtifactCache()
         assert cache.dir == tmp_path / "via-env"
         assert cache.dir.is_dir()
+
+
+class TestWriteDegradation:
+    def test_read_only_dir_degrades_to_cache_off(self, tmp_path, monkeypatch):
+        """Refused writes never crash the run; after the threshold the
+        cache stops touching the dead disk, but reads stay live.
+
+        (Simulated at the syscall layer — directory permission bits are
+        no obstacle when the test suite runs as root.)
+        """
+        metrics = RuntimeMetrics()
+        cache = ArtifactCache(tmp_path, metrics=metrics)
+        good = cache.key("written-before-disk-died")
+        assert cache.put(good, "payload")
+
+        def read_only_fs(*args, **kwargs):
+            raise OSError(30, "Read-only file system")  # EROFS
+
+        monkeypatch.setattr(os, "replace", read_only_fs)
+        for i in range(ArtifactCache._DISABLE_WRITES_AFTER + 2):
+            assert cache.put(cache.key(f"refused-{i}"), i) is False
+        assert cache.writes_disabled
+        # Only threshold-many writes actually hit the disk.
+        assert metrics.cache_write_failures == ArtifactCache._DISABLE_WRITES_AFTER
+        assert cache.get(good) == "payload"  # reads still work
+
+    def test_success_resets_the_failure_streak(self, tmp_path):
+        """Only *consecutive* failures disable writes — a flaky disk that
+        recovers keeps its cache."""
+        metrics = RuntimeMetrics()
+        # cache-kind fault indices are put *ordinals*: fail puts 0, 1, 3.
+        cache = ArtifactCache(
+            tmp_path, metrics=metrics,
+            faults=FaultPlan((FaultSpec("cache-enospc", 0),
+                              FaultSpec("cache-enospc", 1),
+                              FaultSpec("cache-enospc", 3))),
+        )
+        assert not cache.put(cache.key(0), 0)   # fail
+        assert not cache.put(cache.key(1), 1)   # fail
+        assert cache.put(cache.key(2), 2)       # success: streak resets
+        assert not cache.put(cache.key(3), 3)   # fail again (streak = 1)
+        assert not cache.writes_disabled
+        assert metrics.cache_write_failures == 3
+
+    def test_uncreatable_cache_dir_degrades_not_crashes(self, tmp_path):
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("file where the cache dir should go")
+        cache = ArtifactCache(blocker / "cache")
+        assert cache.writes_disabled
+        assert cache.put(cache.key("x"), "x") is False
+        assert cache.get(cache.key("x")) is None
+
+
+class TestConcurrentAccess:
+    def test_read_races_a_writer_mid_replace(self, tmp_path):
+        """A reader that interleaves with a second process's atomic
+        replace sees either the old or the new artifact — never garbage,
+        and a concurrent writer's temp file is never visible as an entry."""
+        cache = ArtifactCache(tmp_path)
+        key = cache.key("contested")
+        cache.put(key, "old")
+        # Another process's in-flight temp file sits in the directory.
+        (tmp_path / f".{key}.9999.tmp").write_bytes(b"\x00half a pickle")
+        assert cache.get(key) == "old"
+        n, _ = cache.stats()
+        assert n == 1  # the temp file is not an entry
+        # The other process lands its replace; we see the new value.
+        ArtifactCache(tmp_path).put(key, "new")
+        assert cache.get(key) == "new"
+
+    def test_truncated_read_during_concurrent_writer_heals(self, tmp_path):
+        """A torn entry is a miss + delete even while a second process
+        keeps writing other keys (the delete must not disturb them)."""
+        ours, theirs = ArtifactCache(tmp_path), ArtifactCache(tmp_path)
+        torn = ours.key("torn")
+        ours.put(torn, list(range(1000)))
+        ours._path(torn).write_bytes(ours._path(torn).read_bytes()[:7])
+        other = theirs.key("other")
+        theirs.put(other, "intact")
+        assert ours.get(torn) is None
+        assert not ours._path(torn).exists()
+        assert ours.get(other) == "intact"
+
+    def test_eviction_races_second_process_deleting(self, tmp_path):
+        """Eviction tolerates entries vanishing underneath it — a second
+        process evicting (or clearing) concurrently must not crash puts."""
+        cache = ArtifactCache(tmp_path, max_entries=1)
+        victim = cache.key("victim")
+        now = time.time()
+        cache.put(victim, "evictable")
+        os.utime(cache._path(victim), (now - 300, now - 300))
+        # The "other process" wins the race: the entry _evict is about to
+        # delete is already gone when the next put triggers eviction.
+        os.unlink(cache._path(victim))
+        assert cache.put(cache.key("fresh"), "fresh")
+        assert cache.get(cache.key("fresh")) == "fresh"
+
+    def test_stat_race_in_entry_scan(self, tmp_path, monkeypatch):
+        """An entry deleted between glob and stat is skipped, not fatal."""
+        cache = ArtifactCache(tmp_path)
+        cache.put(cache.key("a"), "a")
+        doomed = cache._path(cache.key("b"))
+        cache.put(cache.key("b"), "b")
+
+        original_stat = Path.stat
+        raced = []
+
+        def racing_stat(self, **kwargs):
+            if self == doomed and not raced:
+                raced.append(self)
+                os.unlink(self)  # second process wins the race
+            return original_stat(self, **kwargs)
+
+        monkeypatch.setattr(Path, "stat", racing_stat)
+        n, _ = cache.stats()
+        assert n == 1  # the survivor; no exception raised
+
+
+class TestResumeJournal:
+    def test_round_trip(self, tmp_path):
+        journal = ResumeJournal(tmp_path / "sweep.journal")
+        assert journal.load() == frozenset()
+        keys = [format(i, "064x") for i in range(3)]
+        for key in keys:
+            journal.record(key)
+        assert journal.load() == frozenset(keys)
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        """A process killed mid-append loses at most that one key."""
+        path = tmp_path / "sweep.journal"
+        journal = ResumeJournal(path)
+        whole = format(1, "064x")
+        journal.record(whole)
+        with open(path, "a") as fh:
+            fh.write(format(2, "064x")[:31])  # torn: no newline, half a key
+        assert journal.load() == frozenset({whole})
+
+    def test_garbage_lines_are_ignored(self, tmp_path):
+        path = tmp_path / "sweep.journal"
+        good = format(7, "064x")
+        path.write_text(
+            "# a comment\n" + "z" * 64 + "\n" + good + "\nshort\n"
+        )
+        assert ResumeJournal(path).load() == frozenset({good})
+
+    def test_clear_forgets_everything(self, tmp_path):
+        journal = ResumeJournal(tmp_path / "sweep.journal")
+        journal.record(format(3, "064x"))
+        journal.clear()
+        assert journal.load() == frozenset()
+        journal.clear()  # idempotent on a missing file
+
+    def test_unwritable_journal_degrades_silently(self, tmp_path):
+        journal = ResumeJournal(tmp_path / "no-such-dir" / "sweep.journal")
+        journal.record(format(1, "064x"))  # must not raise
+        assert journal.load() == frozenset()

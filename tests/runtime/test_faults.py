@@ -1,0 +1,222 @@
+"""Fault-injection acceptance tests: every recovery path, deterministically.
+
+The acceptance bar (ISSUE 2): an injected worker crash, a task timeout
+and a corrupt cache entry must each recover with only the affected tasks
+re-run — asserted via :class:`RuntimeMetrics` counters — and produce
+bit-identical :class:`DetectionResult`\\ s to a fault-free ``jobs=1`` run;
+a killed-then-resumed sweep must re-simulate zero already-journaled
+traces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments import ExperimentPlan
+from repro.runtime import (
+    FailureReport,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    Session,
+)
+
+TINY_PLAN = ExperimentPlan(
+    n_nodes=6,
+    duration=120.0,
+    max_connections=5,
+    train_seeds=(1,),
+    calibration_seed=2,
+    normal_seeds=(3,),
+    attack_seeds=(4,),
+    warmup=20.0,
+    periods=(5.0, 30.0),
+)
+N_TRACES = 4  # train + calibration + normal + attack
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """The fault-free jobs=1 ground truth every faulty run must match."""
+    session = Session(cache_dir=tmp_path_factory.mktemp("baseline"), jobs=1)
+    return session.detect(TINY_PLAN, classifier="nbc")
+
+
+def assert_identical(result, baseline):
+    assert result.scores.tobytes() == baseline.scores.tobytes()
+    assert result.auc == baseline.auc
+    assert result.threshold == baseline.threshold
+
+
+class TestFaultPlan:
+    def test_parse_mini_language(self):
+        plan = FaultPlan.parse("crash:2,hang:0:1+2,cache-enospc:1")
+        assert plan.specs == (
+            FaultSpec("crash", 2, (1,)),
+            FaultSpec("hang", 0, (1, 2)),
+            FaultSpec("cache-enospc", 1, (1,)),
+        )
+        assert plan.sim_fault(2, 1).kind == "crash"
+        assert plan.sim_fault(2, 2) is None      # transient: retry is clean
+        assert plan.sim_fault(0, 2).kind == "hang"
+        assert plan.cache_fault(1).kind == "cache-enospc"
+        assert plan.cache_fault(0) is None
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("crash:two")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("segfault:1")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("crash:1:2:3:4")
+
+    def test_random_is_seed_deterministic(self):
+        a = FaultPlan.random(seed=7, n_tasks=10, count=3)
+        b = FaultPlan.random(seed=7, n_tasks=10, count=3)
+        assert a == b
+        assert len(a.specs) == 3
+        assert all(s.kind != "hang" for s in a.specs)  # needs a timeout to end
+
+    def test_specs_validate(self):
+        with pytest.raises(ValueError):
+            FaultSpec("nonsense", 0)
+        with pytest.raises(ValueError):
+            FaultSpec("crash", -1)
+
+
+class TestWorkerCrashRecovery:
+    def test_crash_recovers_bit_identically(self, tmp_path, baseline):
+        """A worker killed mid-task (os._exit in the pool) costs one pool
+        respawn; completed traces are kept and the numbers don't move."""
+        session = Session(
+            cache_dir=tmp_path, jobs=2,
+            faults=FaultPlan((FaultSpec("crash", 0, (1,)),)),
+        )
+        result = session.detect(TINY_PLAN, classifier="nbc")
+        assert_identical(result, baseline)
+        assert session.metrics.respawns == 1
+        assert session.metrics.task_failures == 0
+        # Every trace was ultimately simulated exactly once — completed
+        # work was never thrown away and re-counted.
+        labels = [label for label, _ in session.metrics.trace_seconds]
+        assert sorted(labels) == sorted(set(labels))
+        assert session.metrics.simulations == N_TRACES
+
+    def test_crash_in_serial_mode_degrades_to_retry(self, tmp_path, baseline):
+        """Without a pool there is no process to kill: the crash fault
+        raises in-process and the supervisor retries it."""
+        session = Session(
+            cache_dir=tmp_path, jobs=1,
+            faults=FaultPlan((FaultSpec("crash", 0, (1,)),)),
+        )
+        result = session.detect(TINY_PLAN, classifier="nbc")
+        assert_identical(result, baseline)
+        assert session.metrics.retries == 1
+        assert session.metrics.simulations == N_TRACES
+
+
+class TestTimeoutRecovery:
+    def test_hung_task_is_cancelled_and_requeued(self, tmp_path, baseline):
+        """A task sleeping far past the timeout is cancelled (pool kill),
+        charged a retry, and requeued; its retry completes cleanly."""
+        session = Session(
+            cache_dir=tmp_path, jobs=2, task_timeout=5.0,
+            faults=FaultPlan((FaultSpec("hang", 0, (1,), seconds=120.0),)),
+        )
+        result = session.detect(TINY_PLAN, classifier="nbc")
+        assert_identical(result, baseline)
+        assert session.metrics.timeouts == 1
+        assert session.metrics.retries >= 1      # the hung task's requeue
+        assert session.metrics.respawns == 1     # hung worker -> fresh pool
+        assert session.metrics.task_failures == 0
+        labels = [label for label, _ in session.metrics.trace_seconds]
+        assert sorted(labels) == sorted(set(labels))
+        assert session.metrics.simulations == N_TRACES
+
+    def test_persistent_hang_exhausts_budget_and_reports(self, tmp_path):
+        """A task that hangs on every submission fails with kind=timeout
+        after its budget — the sweep reports instead of stalling forever."""
+        session = Session(
+            cache_dir=tmp_path, jobs=2, task_timeout=2.0, max_retries=0,
+            faults=FaultPlan((FaultSpec("hang", 0, (1, 2, 3), seconds=60.0),)),
+        )
+        with pytest.raises(FailureReport) as excinfo:
+            session.bundle(TINY_PLAN)
+        report = excinfo.value
+        assert any(f.kind == "timeout" for f in report.task_failures)
+        assert report.completed == N_TRACES - 1
+        assert session.metrics.timeouts >= 1
+
+
+class TestCorruptCacheRecovery:
+    def test_corrupt_entry_resimulates_only_affected_task(self, tmp_path, baseline):
+        """A torn cache write is discovered on the next read, deleted, and
+        only that one trace re-simulated — bit-identically."""
+        writer = Session(
+            cache_dir=tmp_path, jobs=1,
+            faults=FaultPlan((FaultSpec("cache-corrupt", 0),)),
+        )
+        writer.bundle(TINY_PLAN)
+        assert writer.metrics.simulations == N_TRACES
+
+        reader = Session(cache_dir=tmp_path, jobs=1)
+        result = reader.detect(TINY_PLAN, classifier="nbc")
+        assert_identical(result, baseline)
+        assert reader.metrics.simulations == 1          # only the torn entry
+        assert reader.metrics.cache_hits == N_TRACES - 1
+        assert reader.metrics.cache_misses == 1
+
+    def test_enospc_degrades_to_cache_off_not_crash(self, tmp_path, baseline):
+        """Every write hitting a full disk leaves the run correct; after
+        the failure threshold the cache stops attempting writes."""
+        session = Session(
+            cache_dir=tmp_path, jobs=1,
+            faults=FaultPlan(tuple(
+                FaultSpec("cache-enospc", i) for i in range(N_TRACES)
+            )),
+        )
+        result = session.detect(TINY_PLAN, classifier="nbc")
+        assert_identical(result, baseline)
+        assert session.metrics.cache_write_failures == 3  # then writes stop
+        assert session.cache.writes_disabled
+        assert list(tmp_path.glob("*.pkl")) == []
+
+
+class TestResume:
+    def test_killed_sweep_resumes_from_journal(self, tmp_path, baseline):
+        """A sweep that dies partway journals its completed traces; the
+        next run re-simulates zero journaled traces and matches bit-for-bit."""
+        dying = Session(
+            cache_dir=tmp_path, jobs=1, max_retries=0,
+            faults=FaultPlan((FaultSpec("error", 3, (1,)),)),
+        )
+        with pytest.raises(FailureReport) as excinfo:
+            dying.bundle(TINY_PLAN)
+        assert excinfo.value.completed == N_TRACES - 1
+        assert len(dying.journal.load()) == N_TRACES - 1
+
+        resumed = Session(cache_dir=tmp_path, jobs=1)
+        result = resumed.detect(TINY_PLAN, classifier="nbc")
+        assert_identical(result, baseline)
+        assert resumed.metrics.resumed == N_TRACES - 1  # journaled: reused
+        assert resumed.metrics.simulations == 1         # unjournaled: re-run
+        assert resumed.metrics.cache_hits == N_TRACES - 1
+
+    def test_results_flush_incrementally_not_at_batch_end(self, tmp_path):
+        """Completed traces land in the cache as they finish — a fatal
+        failure later in the batch cannot lose them."""
+        session = Session(
+            cache_dir=tmp_path, jobs=1, max_retries=0,
+            faults=FaultPlan((FaultSpec("error", 2, (1,)),)),
+        )
+        with pytest.raises(FailureReport):
+            session.bundle(TINY_PLAN)
+        # Every task except the poisoned one completed — including task 3,
+        # *after* the failure — and each was flushed the moment it finished.
+        assert len(list(tmp_path.glob("*.pkl"))) == N_TRACES - 1
+
+    def test_injected_fault_exception_is_distinguishable(self):
+        with pytest.raises(InjectedFault):
+            from repro.runtime.faults import trip_sim_fault
+
+            trip_sim_fault(FaultSpec("error", 0), in_pool=False)

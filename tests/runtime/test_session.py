@@ -184,3 +184,80 @@ class TestLegacyWrappers:
             warnings.simplefilter("ignore", DeprecationWarning)
             bundle = cached_bundle(TINY_PLAN)
         assert bundle is default_session().bundle(TINY_PLAN)
+
+
+class TestRuntimeConfiguration:
+    def test_invalid_env_jobs_warns_with_value(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        with pytest.warns(RuntimeWarning, match="'many'"):
+            session = Session(cache_dir=tmp_path)
+        assert session.jobs == 1
+
+    def test_nonpositive_env_jobs_warns_with_value(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        with pytest.warns(RuntimeWarning, match="'0'"):
+            session = Session(cache_dir=tmp_path)
+        assert session.jobs == 1
+
+    def test_valid_env_jobs_is_silent(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            session = Session(cache_dir=tmp_path)
+        assert session.jobs == 3
+
+    def test_task_key_without_cache_raises_runtime_error(self, tmp_path):
+        """An explicit error, not an assert — asserts vanish under -O."""
+        from repro.runtime.executor import TraceTask
+        from tests.conftest import small_config
+
+        session = Session(cache_dir=tmp_path, cache=False)
+        with pytest.raises(RuntimeError, match="cache=False"):
+            session._task_key(TraceTask(small_config(), (), "t"))
+
+    def test_timeout_and_retry_knobs_reach_the_policy(self, tmp_path):
+        session = Session(cache_dir=tmp_path, task_timeout=7.5, max_retries=5)
+        assert session.policy.task_timeout == 7.5
+        assert session.policy.max_retries == 5
+        assert session.executor.policy is session.policy
+
+    def test_prefetch_deduplicates_equivalent_plans(self, tmp_path):
+        """Many extraction-only variants of one sim key collapse to a
+        single fan-out (and the dedup scan is not quadratic)."""
+        from dataclasses import replace
+
+        session = Session(cache_dir=tmp_path, jobs=1)
+        variants = [replace(TINY_PLAN, warmup=float(w)) for w in range(30)]
+        session.prefetch(variants)
+        assert session.metrics.simulations == N_TRACES
+
+
+class TestJournal:
+    def test_clean_run_journals_every_trace(self, tmp_path):
+        session = Session(cache_dir=tmp_path, jobs=1)
+        session.bundle(TINY_PLAN)
+        assert len(session.journal.load()) == N_TRACES
+
+    def test_warm_session_counts_resumed_traces(self, tmp_path):
+        Session(cache_dir=tmp_path, jobs=1).bundle(TINY_PLAN)
+        warm = Session(cache_dir=tmp_path, jobs=1)
+        warm.bundle(TINY_PLAN)
+        assert warm.metrics.resumed == N_TRACES
+        assert warm.metrics.simulations == 0
+
+    def test_within_session_hits_are_not_resumed(self, tmp_path):
+        """`resumed` means recovered from a *previous* run's journal —
+        re-reading a trace this session just wrote is a plain hit."""
+        session = Session(cache_dir=tmp_path, jobs=1)
+        session.bundle(TINY_PLAN)
+        session._raw.clear()  # force the cache path, not the memos
+        session._bundles.clear()
+        session.bundle(TINY_PLAN)
+        assert session.metrics.cache_hits == N_TRACES
+        assert session.metrics.resumed == 0
+
+    def test_no_cache_session_has_no_journal(self, tmp_path):
+        session = Session(cache_dir=tmp_path, cache=False)
+        assert session.journal is None
+        session.bundle(TINY_PLAN)
+        assert not (tmp_path / "sweep.journal").exists()
