@@ -1,0 +1,59 @@
+"""Benchmark: kernel and model fast paths across scenario scales.
+
+Runs the :mod:`repro.runtime.bench` suites — neighbor-path and
+end-to-end scenario timings at 30/100(/200) nodes, model fit/score
+timings — asserting both correctness (the harness itself fails on any
+result divergence between the optimized and reference paths) and a
+conservative speedup floor at the scales the optimization targets.
+
+Defaults to the quick (CI-scale) workloads; set ``REPRO_BENCH_FULL=1``
+for the full workloads behind the committed ``BENCH_*.json`` baselines,
+and ``REPRO_BENCH_WRITE=1`` to (re)write those files at the repo root.
+``python -m repro bench`` is the command-line equivalent.
+"""
+
+import os
+from pathlib import Path
+
+from repro.runtime.bench import run_model_bench, run_simulator_bench, write_bench
+
+QUICK = os.environ.get("REPRO_BENCH_FULL", "0") in ("0", "false", "")
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _maybe_write(payload: dict, name: str) -> None:
+    if os.environ.get("REPRO_BENCH_WRITE", "0") not in ("0", "false", ""):
+        write_bench(payload, REPO_ROOT / f"BENCH_{name}.json")
+
+
+def test_simulator_scaling():
+    payload = run_simulator_bench(quick=QUICK)
+    by_name = {e["name"]: e for e in payload["entries"]}
+
+    # The grid index must clearly win the neighbor path at 100+ nodes.
+    # The committed full-workload baseline shows >= 3x; the floor here is
+    # deliberately lower so CI timing noise cannot flake the suite.
+    assert by_name["neighbors/100nodes"]["speedup"] >= 1.5, by_name
+
+    # At every scale the harness has already asserted checksum equality
+    # between the two modes; spot-check the records are well-formed.
+    for entry in payload["entries"]:
+        assert entry["baseline_seconds"] > 0
+        assert entry["optimized_seconds"] > 0
+
+    _maybe_write(payload, "simulator")
+
+
+def test_model_scaling():
+    payload = run_model_bench(quick=QUICK)
+    by_kind = {e["kind"]: e for e in payload["entries"]}
+
+    # Batched tree scoring vs the rowwise reference walk; the committed
+    # baseline shows >= 2x, the CI floor is again conservative.
+    assert by_kind["scoring"]["speedup"] >= 1.3, by_kind
+
+    # Threaded fit cannot be faster on a single-CPU runner; just require
+    # it not to be pathologically slower.
+    assert by_kind["training"]["speedup"] >= 0.5, by_kind
+
+    _maybe_write(payload, "model")

@@ -56,6 +56,11 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
         "--task-retries", type=int, default=None, metavar="N",
         help="retry budget per trace before the run fails (default: 2)",
     )
+    parser.add_argument(
+        "--bench", default=None, metavar="FILE",
+        help="after the run, dump runtime metrics (stage timings, cache "
+             "counters, per-trace wall-clock) to FILE as JSON",
+    )
     # Hidden chaos-testing hook: a deterministic fault-injection script,
     # e.g. --inject-faults crash:2,hang:0:1+2,cache-enospc:1
     # (see repro.runtime.faults.FaultPlan.parse).  CI uses it to exercise
@@ -99,6 +104,30 @@ def _build_session(args: argparse.Namespace):
     )
 
 
+def _dump_metrics(session, args: argparse.Namespace) -> None:
+    """Honour ``--bench FILE``: write the session's runtime metrics."""
+    path = getattr(args, "bench", None)
+    if not path:
+        return
+    import json
+
+    m = session.metrics
+    payload = {
+        "stage_seconds": {k: round(v, 4) for k, v in m.stage_seconds.items()},
+        "trace_seconds": [(label, round(s, 4)) for label, s in m.trace_seconds],
+        "simulations": m.simulations,
+        "cache_hits": m.cache_hits,
+        "cache_misses": m.cache_misses,
+        "retries": m.retries,
+        "timeouts": m.timeouts,
+        "summary": m.summary(),
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"runtime metrics written to {path}")
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     """Run one scenario and print trace statistics."""
     from repro.simulation.scenario import ScenarioConfig
@@ -121,6 +150,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"total trace events      : {trace.recorder.total_packets()}")
     print(f"sampling windows        : {len(trace.tick_times)}")
     print(f"runtime                 : {session.metrics.summary()}")
+    _dump_metrics(session, args)
     return 0
 
 
@@ -152,6 +182,7 @@ def cmd_detect(args: argparse.Namespace) -> int:
     print(f"at calibrated threshold : recall {recall:.2f}, precision {precision:.2f} "
           f"(threshold {result.threshold:.3f})")
     print(f"runtime                 : {session.metrics.summary()}")
+    _dump_metrics(session, args)
     return 0
 
 
@@ -173,7 +204,33 @@ def cmd_report(args: argparse.Namespace) -> int:
           "(this takes a few minutes) ...")
     print(scenario_report(plan, session=session))
     print(f"runtime: {session.metrics.summary()}")
+    _dump_metrics(session, args)
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the benchmark suites and write BENCH_*.json files."""
+    import os
+
+    from repro.runtime.bench import run_model_bench, run_simulator_bench, write_bench
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    rc = 0
+    suites = []
+    if args.suite in ("simulator", "all"):
+        suites.append(("simulator", run_simulator_bench))
+    if args.suite in ("model", "all"):
+        suites.append(("model", run_model_bench))
+    for name, runner in suites:
+        print(f"benchmarking {name} ({'quick' if args.quick else 'full'}) ...")
+        payload = runner(quick=args.quick)
+        for entry in payload["entries"]:
+            print(f"  {entry['name']:32s} {entry['baseline_seconds']:8.3f}s -> "
+                  f"{entry['optimized_seconds']:8.3f}s  ({entry['speedup']:.2f}x)")
+        path = os.path.join(args.out_dir, f"BENCH_{name}.json")
+        write_bench(payload, path)
+        print(f"  written to {path}")
+    return rc
 
 
 def cmd_illustrate(args: argparse.Namespace) -> int:
@@ -224,6 +281,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--attack", choices=["mixed", "blackhole", "dropping"],
                        default="mixed")
     p_rep.set_defaults(func=cmd_report)
+
+    p_bench = sub.add_parser(
+        "bench", help="measure the kernel/model fast paths, write BENCH_*.json"
+    )
+    p_bench.add_argument("--suite", choices=["simulator", "model", "all"], default="all")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="CI-scale workloads (seconds instead of minutes)")
+    p_bench.add_argument("--out-dir", default=".", metavar="DIR",
+                         help="directory for the BENCH_*.json files (default: .)")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_ill = sub.add_parser("illustrate", help="print the paper's §3 example")
     p_ill.set_defaults(func=cmd_illustrate)

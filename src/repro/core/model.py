@@ -33,6 +33,8 @@ Algorithm 3.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
 import numpy as np
@@ -65,6 +67,12 @@ class CrossFeatureModel:
         to these column indices.
     prefilter_fraction, random_state:
         Passed to the discretizer / subset sampling.
+    n_jobs:
+        Worker threads for sub-model training and scoring.  The L
+        sub-model fits (and the L per-sub-model scoring passes) are
+        mutually independent, so they parallelize without affecting
+        results: 1 (default) = serial, ``None``/``0`` = one thread per
+        CPU.  Results are identical for any value.
     """
 
     def __init__(
@@ -75,6 +83,7 @@ class CrossFeatureModel:
         feature_subset: Sequence[int] | None = None,
         prefilter_fraction: float | None = None,
         random_state: int = 0,
+        n_jobs: int | None = 1,
     ):
         self.classifier_factory = classifier_factory
         self.n_buckets = n_buckets
@@ -82,6 +91,7 @@ class CrossFeatureModel:
         self.feature_subset = None if feature_subset is None else list(feature_subset)
         self.prefilter_fraction = prefilter_fraction
         self.random_state = random_state
+        self.n_jobs = n_jobs
 
         self.discretizer: EqualFrequencyDiscretizer | None = None
         self.models_: list[CategoricalClassifier] = []
@@ -118,14 +128,30 @@ class CrossFeatureModel:
             rng = np.random.default_rng(self.random_state)
             targets = sorted(rng.choice(n_features, size=self.max_models, replace=False))
 
-        self.models_, self.targets_ = [], []
-        for i in targets:
+        def fit_one(i: int) -> CategoricalClassifier:
             others = np.delete(codes, i, axis=1)
             model = self.classifier_factory()
             model.fit(others, codes[:, i])
-            self.models_.append(model)
-            self.targets_.append(int(i))
+            return model
+
+        # Sub-model fits share nothing (fresh classifier per target, no
+        # common RNG), so threading them is result-identical to the
+        # serial loop; ``map`` preserves target order.
+        jobs = self._effective_jobs(len(targets))
+        if jobs > 1:
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                self.models_ = list(pool.map(fit_one, targets))
+        else:
+            self.models_ = [fit_one(i) for i in targets]
+        self.targets_ = [int(i) for i in targets]
         return self
+
+    def _effective_jobs(self, n_tasks: int) -> int:
+        """Resolve ``n_jobs`` against the task count and CPU count."""
+        jobs = self.n_jobs
+        if jobs is None or jobs <= 0:
+            jobs = os.cpu_count() or 1
+        return max(1, min(jobs, n_tasks))
 
     # ------------------------------------------------------------------
     # Algorithms 2 & 3: test procedures
@@ -142,7 +168,9 @@ class CrossFeatureModel:
         matches = np.zeros((n, len(self.models_)))
         p_true = np.zeros((n, len(self.models_)))
         rows = np.arange(n)
-        for m, (model, i) in enumerate(zip(self.models_, self.targets_)):
+
+        def score_one(m: int) -> None:
+            model, i = self.models_[m], self.targets_[m]
             others = np.delete(codes, i, axis=1)
             true = codes[:, i]
             proba = model.predict_proba(others)
@@ -153,6 +181,16 @@ class CrossFeatureModel:
             in_range = true < proba.shape[1]
             p_true[in_range, m] = proba[rows[in_range], true[in_range]]
             matches[~in_range, m] = 0.0
+
+        # Each sub-model writes only its own column, so the passes are
+        # independent and thread-safe; results match the serial loop.
+        jobs = self._effective_jobs(len(self.models_))
+        if jobs > 1:
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                list(pool.map(score_one, range(len(self.models_))))
+        else:
+            for m in range(len(self.models_)):
+                score_one(m)
         return matches, p_true
 
     def calibrate(self, X_normal: np.ndarray) -> np.ndarray:

@@ -28,16 +28,12 @@ class ScoreDensity:
 
     def mass_below(self, threshold: float) -> float:
         """Probability mass strictly below ``threshold`` (linear within bins)."""
-        edges, dens = self.bin_edges, self.density
-        widths = np.diff(edges)
-        mass = 0.0
-        for lo, width, d in zip(edges[:-1], widths, dens):
-            hi = lo + width
-            if threshold >= hi:
-                mass += d * width
-            elif threshold > lo:
-                mass += d * (threshold - lo)
-        return float(mass)
+        lo = self.bin_edges[:-1]
+        widths = np.diff(self.bin_edges)
+        # Covered width per bin: the whole bin below the threshold, the
+        # partial overlap in the bin containing it, zero above.
+        covered = np.clip(threshold - lo, 0.0, widths)
+        return float((self.density * covered).sum())
 
     def mass_above(self, threshold: float) -> float:
         """Probability mass at or above ``threshold``."""

@@ -23,9 +23,14 @@
   every recovery path above is exercised in CI;
 * :class:`~repro.runtime.metrics.RuntimeMetrics` /
   :class:`~repro.runtime.metrics.TraceEvent` — timing, hit/miss and
-  supervision counters plus the live progress hook.
+  supervision counters plus the live progress hook;
+* :func:`~repro.runtime.bench.run_simulator_bench` /
+  :func:`~repro.runtime.bench.run_model_bench` — the benchmark harness
+  behind ``python -m repro bench`` and the committed ``BENCH_*.json``
+  baselines.
 """
 
+from repro.runtime.bench import run_model_bench, run_simulator_bench, write_bench
 from repro.runtime.cache import (
     ArtifactCache,
     ResumeJournal,
@@ -63,6 +68,9 @@ __all__ = [
     "code_version",
     "default_cache_dir",
     "default_session",
+    "run_model_bench",
+    "run_simulator_bench",
     "set_default_session",
     "stable_key",
+    "write_bench",
 ]

@@ -1,0 +1,327 @@
+"""Benchmark harness: measured speedups for the fast paths, as data.
+
+Two suites, each returning a JSON-serializable payload (committed to the
+repo as ``BENCH_simulator.json`` / ``BENCH_model.json`` and regenerated
+by ``python -m repro bench``):
+
+* :func:`run_simulator_bench` — the simulation kernel.  For each node
+  count it times (a) the *neighbor path* in isolation — identical
+  neighbor-query workloads against a naive-scan medium and a
+  grid-indexed medium — and (b) a full scenario end to end under both
+  modes.  Both leg pairs assert result equality while timing, so a
+  regression in correctness fails the benchmark rather than polluting
+  it.
+* :func:`run_model_bench` — the model layer.  Times C4.5 sub-model
+  scoring through the batched tree walk against the per-row reference
+  walk, and sub-model training serial against threaded (``n_jobs``).
+
+Every entry records ``baseline_seconds`` (the pre-optimization path,
+which is kept in-tree as the reference implementation), ``optimized_seconds``
+and their ratio, plus enough workload metadata to re-run the comparison.
+
+``quick=True`` shrinks workloads to CI scale (seconds, not minutes); the
+committed BENCH files are produced with ``quick=False``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+
+# ----------------------------------------------------------------------
+# plumbing
+# ----------------------------------------------------------------------
+def _entry(name: str, baseline: float, optimized: float, **meta) -> dict:
+    """One benchmark record; speedup is baseline over optimized."""
+    return {
+        "name": name,
+        "baseline_seconds": round(baseline, 4),
+        "optimized_seconds": round(optimized, 4),
+        "speedup": round(baseline / optimized, 2) if optimized > 0 else float("inf"),
+        **meta,
+    }
+
+
+def _environment() -> dict:
+    import repro  # deferred: repro/__init__ imports the runtime package
+
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "repro_version": repro.__version__,
+    }
+
+
+@contextmanager
+def _spatial_index(enabled: bool) -> Iterator[None]:
+    """Force the medium's spatial-index default for the enclosed block."""
+    prior = os.environ.get("REPRO_SPATIAL_INDEX")
+    os.environ["REPRO_SPATIAL_INDEX"] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if prior is None:
+            del os.environ["REPRO_SPATIAL_INDEX"]
+        else:
+            os.environ["REPRO_SPATIAL_INDEX"] = prior
+
+
+def write_bench(payload: dict, path: str | os.PathLike) -> None:
+    """Write one benchmark payload as stable, diff-friendly JSON."""
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# simulator suite
+# ----------------------------------------------------------------------
+def _neighbor_workload(n_nodes: int, n_queries: int, seed: int, use_index: bool) -> tuple[float, int]:
+    """Time an identical neighbor-query stream against one medium mode.
+
+    Builds a full stack (so the indexed medium's fast path engages),
+    then replays ``n_queries`` queries from a dedicated workload RNG at
+    monotonically increasing times.  Returns (seconds, checksum) where
+    the checksum folds every returned neighbor list — the caller asserts
+    the two modes agree.
+    """
+    from repro.simulation.engine import Simulator
+    from repro.simulation.medium import WirelessMedium
+    from repro.simulation.mobility import RandomWaypointMobility
+    from repro.simulation.node import Node
+    from repro.simulation.stats import TraceRecorder
+
+    sim = Simulator(seed=seed)
+    mobility = RandomWaypointMobility(n_nodes=n_nodes, rng=sim.rng)
+    medium = WirelessMedium(sim, mobility, use_index=use_index)
+    recorder = TraceRecorder(n_nodes)
+    for i in range(n_nodes):
+        Node(i, sim, medium, recorder[i])
+
+    workload = random.Random(0xBEEF)
+    times = []
+    t = 0.0
+    # Inter-query gaps match a busy scenario's transmission density
+    # (hundreds of sends per simulated second at 100 nodes).
+    for _ in range(n_queries):
+        t += workload.uniform(0.0005, 0.005)
+        times.append((t, workload.randrange(n_nodes)))
+
+    checksum = 0
+    t0 = time.perf_counter()
+    for t, node_id in times:
+        sim.now = t
+        for neighbor in medium.neighbors(node_id):
+            checksum = (checksum * 31 + neighbor + 1) % (1 << 61)
+    return time.perf_counter() - t0, checksum
+
+
+def _scenario_seconds(n_nodes: int, duration: float, protocol: str, seed: int, use_index: bool) -> tuple[float, int]:
+    """Time one full scenario; returns (seconds, total trace events)."""
+    from repro.simulation.scenario import ScenarioConfig, run_scenario
+
+    config = ScenarioConfig(
+        protocol=protocol,
+        n_nodes=n_nodes,
+        duration=duration,
+        max_connections=min(40, 2 * n_nodes),
+        seed=seed,
+    )
+    with _spatial_index(use_index):
+        t0 = time.perf_counter()
+        trace = run_scenario(config)
+        elapsed = time.perf_counter() - t0
+    return elapsed, trace.recorder.total_packets()
+
+
+def run_simulator_bench(quick: bool = False, seed: int = 1) -> dict:
+    """Kernel suite: neighbor path isolated + scenarios end to end."""
+    if quick:
+        node_counts = (30, 100)
+        n_queries = 2_000
+        duration = 15.0
+        repeats = 2
+    else:
+        node_counts = (30, 100, 200)
+        n_queries = 20_000
+        duration = 60.0
+        repeats = 3
+
+    def neighbor_best_of(n: int, use_index: bool) -> tuple[float, int]:
+        # Best-of-N: the workload is deterministic, so repeats measure
+        # only machine noise; min is the cleanest estimate.
+        best, checksum = float("inf"), None
+        for _ in range(repeats):
+            seconds, this_sum = _neighbor_workload(n, n_queries, seed, use_index)
+            best = min(best, seconds)
+            assert checksum is None or checksum == this_sum
+            checksum = this_sum
+        return best, checksum
+
+    entries = []
+    for n in node_counts:
+        naive_s, naive_sum = neighbor_best_of(n, use_index=False)
+        index_s, index_sum = neighbor_best_of(n, use_index=True)
+        if naive_sum != index_sum:
+            raise AssertionError(
+                f"neighbor results diverged at {n} nodes: "
+                f"{naive_sum:#x} != {index_sum:#x}"
+            )
+        entries.append(_entry(
+            f"neighbors/{n}nodes",
+            naive_s,
+            index_s,
+            kind="neighbor_path",
+            n_nodes=n,
+            n_queries=n_queries,
+            checksum=f"{index_sum:#x}",
+        ))
+    for n in node_counts:
+        for protocol in ("aodv", "dsr"):
+            naive_s, naive_events = _scenario_seconds(n, duration, protocol, seed, use_index=False)
+            index_s, index_events = _scenario_seconds(n, duration, protocol, seed, use_index=True)
+            if naive_events != index_events:
+                raise AssertionError(
+                    f"scenario traces diverged: {protocol}/{n} nodes "
+                    f"({naive_events} != {index_events} events)"
+                )
+            entries.append(_entry(
+                f"scenario/{protocol}/{n}nodes",
+                naive_s,
+                index_s,
+                kind="end_to_end",
+                n_nodes=n,
+                protocol=protocol,
+                duration=duration,
+                trace_events=index_events,
+            ))
+    return {
+        "suite": "simulator",
+        "quick": quick,
+        "seed": seed,
+        "environment": _environment(),
+        "entries": entries,
+    }
+
+
+# ----------------------------------------------------------------------
+# model suite
+# ----------------------------------------------------------------------
+def _synthetic_features(n_events: int, n_features: int, seed: int) -> np.ndarray:
+    """Feature vectors with cross-feature structure for the sub-models.
+
+    Half the columns are correlated mixtures of two latent variables so
+    the learned trees have real depth; the rest are noise, like the
+    hard-to-predict features of the actual trace data.
+    """
+    rng = np.random.default_rng(seed)
+    latent = rng.random((n_events, 2))
+    X = np.empty((n_events, n_features))
+    for j in range(n_features):
+        if j % 2 == 0:
+            w = rng.random()
+            X[:, j] = w * latent[:, 0] + (1 - w) * latent[:, 1] + 0.1 * rng.random(n_events)
+        else:
+            X[:, j] = rng.random(n_events)
+    return X
+
+
+def _rowwise_outputs(model, X: np.ndarray) -> np.ndarray:
+    """Cross-feature scoring through the per-row reference tree walk.
+
+    Mirrors ``CrossFeatureModel._sub_model_outputs`` but drives each
+    sub-model through ``_predict_proba_rowwise`` — the pre-vectorization
+    scoring path, used as the benchmark baseline.
+    """
+    X = np.asarray(X, dtype=float)
+    codes = model.discretizer.transform(X)
+    n = len(codes)
+    p_true = np.zeros((n, len(model.models_)))
+    rows = np.arange(n)
+    for m, (clf, i) in enumerate(zip(model.models_, model.targets_)):
+        others = np.delete(codes, i, axis=1)
+        true = codes[:, i]
+        proba = clf._predict_proba_rowwise(others)
+        in_range = true < proba.shape[1]
+        p_true[in_range, m] = proba[rows[in_range], true[in_range]]
+    return p_true
+
+
+def run_model_bench(quick: bool = False, seed: int = 0) -> dict:
+    """Model suite: batched scoring vs rowwise; threaded vs serial fit."""
+    from repro.core.model import CrossFeatureModel
+
+    if quick:
+        n_train, n_score, n_features, repeats = 800, 4_000, 10, 2
+    else:
+        n_train, n_score, n_features, repeats = 2_000, 20_000, 16, 3
+
+    X_train = _synthetic_features(n_train, n_features, seed)
+    X_score = _synthetic_features(n_score, n_features, seed + 1)
+
+    # --- fit: serial vs threaded -------------------------------------
+    def fit_with(jobs: int) -> tuple[float, CrossFeatureModel]:
+        best = float("inf")
+        model = None
+        for _ in range(repeats):
+            candidate = CrossFeatureModel(n_jobs=jobs)
+            t0 = time.perf_counter()
+            candidate.fit(X_train)
+            best = min(best, time.perf_counter() - t0)
+            model = candidate
+        return best, model
+
+    serial_fit_s, model = fit_with(1)
+    jobs = os.cpu_count() or 1
+    threaded_fit_s, _ = fit_with(jobs)
+
+    # --- score: rowwise reference vs batched tree walk ---------------
+    rowwise_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        p_ref = _rowwise_outputs(model, X_score)
+        rowwise_s = min(rowwise_s, time.perf_counter() - t0)
+    batched_s = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        _, p_new = model._sub_model_outputs(X_score)
+        batched_s = min(batched_s, time.perf_counter() - t0)
+    if not np.array_equal(p_ref, p_new):
+        raise AssertionError("batched scoring diverged from the rowwise reference")
+
+    entries = [
+        _entry(
+            "score/c45-batched-vs-rowwise",
+            rowwise_s,
+            batched_s,
+            kind="scoring",
+            n_events=n_score,
+            n_features=n_features,
+            n_sub_models=model.n_models,
+        ),
+        _entry(
+            f"fit/n_jobs-{jobs}-vs-serial",
+            serial_fit_s,
+            threaded_fit_s,
+            kind="training",
+            n_events=n_train,
+            n_features=n_features,
+            n_jobs=jobs,
+        ),
+    ]
+    return {
+        "suite": "model",
+        "quick": quick,
+        "seed": seed,
+        "environment": _environment(),
+        "entries": entries,
+    }

@@ -48,7 +48,10 @@ class TraceEvent:
     * ``"cache_write_failed"`` — an artifact-cache write was refused by
       the disk (``label`` holds the error);
     * ``"cache_off"`` — repeated write failures disabled cache writes for
-      the rest of the run.
+      the rest of the run;
+    * ``"stage"`` — a pipeline stage finished (``label`` holds the stage
+      name — ``simulate`` / ``extract`` / ``fit`` / ``score`` — and
+      ``seconds`` its wall-clock).
     """
 
     kind: str
@@ -84,6 +87,9 @@ class RuntimeMetrics:
         self.cache_write_failures = 0
         #: (label, wall-clock seconds) per simulated trace, completion order.
         self.trace_seconds: list[tuple[str, float]] = []
+        #: Accumulated wall-clock per pipeline stage (``simulate`` /
+        #: ``extract`` / ``fit`` / ``score``) — where a session's time goes.
+        self.stage_seconds: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def _emit(self, kind: str, label: str = "", seconds: float = 0.0) -> None:
@@ -162,6 +168,12 @@ class RuntimeMetrics:
         """Repeated write failures switched the cache to read-only."""
         self._emit("cache_off", reason)
 
+    # -- stage timing ----------------------------------------------------
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Accumulate wall-clock into a named pipeline stage."""
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+        self._emit("stage", stage, seconds)
+
     # ------------------------------------------------------------------
     @property
     def total_trace_seconds(self) -> float:
@@ -185,6 +197,7 @@ class RuntimeMetrics:
         self.pool_failures = 0
         self.cache_write_failures = 0
         self.trace_seconds = []
+        self.stage_seconds = {}
 
     def summary(self) -> str:
         """One-line human-readable state, used by the CLI."""
@@ -206,6 +219,11 @@ class RuntimeMetrics:
             extras.append(f"{self.task_failures} failed")
         if self.cache_write_failures:
             extras.append(f"{self.cache_write_failures} cache write failures")
+        if self.stage_seconds:
+            stages = " ".join(
+                f"{k}={v:.1f}s" for k, v in sorted(self.stage_seconds.items())
+            )
+            extras.append(f"stages: {stages}")
         return base + (", " + ", ".join(extras) if extras else "")
 
     def __repr__(self) -> str:  # pragma: no cover

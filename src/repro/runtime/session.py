@@ -28,6 +28,7 @@ The legacy module-level helpers (``cached_bundle`` / ``cached_result`` /
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from typing import TYPE_CHECKING, Mapping, Sequence
 
@@ -247,9 +248,11 @@ class Session:
                 if self.cache.put(key, trace) and self.journal is not None:
                     self.journal.record(key)
 
+        t0 = time.perf_counter()
         fresh = self.executor.run(
             [task for _, _, task in pending], on_result=flush
         )
+        self.metrics.record_stage("simulate", time.perf_counter() - t0)
         for (i, _key, _task), trace in zip(pending, fresh):
             if results[i] is None:  # pragma: no cover - flush already filled these
                 results[i] = trace
@@ -319,9 +322,16 @@ class Session:
         monitor is memoised.
         """
         if monitor is not None and monitor != plan.monitor:
-            return extract_bundle(self.raw_traces(plan), monitor=monitor)
+            raw = self.raw_traces(plan)
+            t0 = time.perf_counter()
+            bundle = extract_bundle(raw, monitor=monitor)
+            self.metrics.record_stage("extract", time.perf_counter() - t0)
+            return bundle
         if plan not in self._bundles:
-            self._bundles[plan] = extract_bundle(self.raw_traces(plan))
+            raw = self.raw_traces(plan)
+            t0 = time.perf_counter()
+            self._bundles[plan] = extract_bundle(raw)
+            self.metrics.record_stage("extract", time.perf_counter() - t0)
         return self._bundles[plan]
 
     def detect(
@@ -332,8 +342,14 @@ class Session:
         false_alarm_rate: float = 0.02,
         max_models: int | None = None,
         n_buckets: int = 5,
+        n_jobs: int | None = 1,
     ) -> DetectionResult:
-        """Full detection experiment on one plan (memoised per knob set)."""
+        """Full detection experiment on one plan (memoised per knob set).
+
+        ``n_jobs`` threads the independent sub-model fits and scoring
+        passes; it is deliberately absent from the memoisation key
+        because results are identical for any value.
+        """
         key = (plan, classifier, method, false_alarm_rate, max_models, n_buckets)
         if key not in self._results:
             self._results[key] = run_detection_experiment(
@@ -343,6 +359,8 @@ class Session:
                 false_alarm_rate=false_alarm_rate,
                 max_models=max_models,
                 n_buckets=n_buckets,
+                n_jobs=n_jobs,
+                stage_hook=self.metrics.record_stage,
             )
         return self._results[key]
 

@@ -55,7 +55,7 @@ class Simulator:
     def __init__(self, seed: int = 0):
         self.now: float = 0.0
         self.rng = random.Random(seed)
-        self._heap: list[Event] = []
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._running = False
         self._processed = 0
@@ -75,7 +75,10 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         event = Event(time, self._seq, callback, args)
         self._seq += 1
-        heapq.heappush(self._heap, event)
+        # Heap entries are (time, seq, event) tuples: the (time, seq) pair
+        # is unique, so ordering is identical to comparing Event objects,
+        # but tuple comparisons run at C speed instead of Event.__lt__.
+        heapq.heappush(self._heap, (time, self._seq - 1, event))
         return event
 
     # ------------------------------------------------------------------
@@ -91,7 +94,7 @@ class Simulator:
         self._running = True
         heap = self._heap
         while self._running and heap:
-            event = heap[0]
+            event = heap[0][2]
             if event.cancelled:
                 heapq.heappop(heap)
                 continue
@@ -112,7 +115,7 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for _, _, e in self._heap if not e.cancelled)
 
     @property
     def processed_events(self) -> int:

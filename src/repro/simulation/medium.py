@@ -18,21 +18,40 @@ statistics:
 * **promiscuous overhearing** — nodes in range of a unicast they are not
   party to can tap it, which DSR's route-cache eavesdropping (the paper's
   *route notice count* feature) relies on.
+
+Connectivity queries normally go through a
+:class:`~repro.simulation.spatial.SpatialNeighborIndex` (grid-pruned
+candidates + exact unit-disc post-filter); the naive O(N) scan is kept both
+as the automatic fallback for partially-attached node sets and as the
+reference implementation the trace-equivalence suite compares against
+(``use_index=False`` / ``REPRO_SPATIAL_INDEX=0``).  Either path produces
+bit-identical traces — see DESIGN.md §Performance for the invariants.
 """
 
 from __future__ import annotations
 
 import math
+import os
 from typing import TYPE_CHECKING, Callable
+
+import numpy as np
 
 from repro.simulation.engine import Simulator
 from repro.simulation.mobility import RandomWaypointMobility
 from repro.simulation.packet import Packet
+from repro.simulation.spatial import SpatialNeighborIndex
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simulation.node import Node
 
 FailureCallback = Callable[[Packet, int], None]
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+def _default_use_index() -> bool:
+    """Spatial index default: on, unless ``REPRO_SPATIAL_INDEX=0``."""
+    return os.environ.get("REPRO_SPATIAL_INDEX", "1") not in ("0", "false", "no")
 
 
 class WirelessMedium:
@@ -56,6 +75,13 @@ class WirelessMedium:
         interface queue is dropped (congestion drop).
     retry_delay:
         Time after which a failed unicast is reported to the sender.
+    use_index:
+        Route neighbor queries through the spatial grid index.  ``None``
+        (default) reads ``$REPRO_SPATIAL_INDEX``; ``False`` forces the
+        naive reference scan.  Traces are bit-identical either way.
+    rebuild_quantum:
+        Index snapshot lifetime, forwarded to
+        :class:`~repro.simulation.spatial.SpatialNeighborIndex`.
     """
 
     def __init__(
@@ -68,6 +94,8 @@ class WirelessMedium:
         loss_rate: float = 0.0,
         max_queue_delay: float = 0.5,
         retry_delay: float = 0.05,
+        use_index: bool | None = None,
+        rebuild_quantum: float = 0.25,
     ):
         self.sim = sim
         self.mobility = mobility
@@ -79,6 +107,13 @@ class WirelessMedium:
         self.retry_delay = retry_delay
         self.nodes: list["Node"] = []
         self._busy_until: list[float] = []
+        self._promiscuous: set[int] = set()
+        self._promiscuous_ids = _EMPTY_IDS
+        self.index: SpatialNeighborIndex | None = (
+            SpatialNeighborIndex(mobility, tx_range, rebuild_quantum=rebuild_quantum)
+            if (use_index if use_index is not None else _default_use_index())
+            else None
+        )
         # Counters for tests / diagnostics.
         self.congestion_drops = 0
         self.delivered = 0
@@ -93,14 +128,41 @@ class WirelessMedium:
             )
         self.nodes.append(node)
         self._busy_until.append(0.0)
+        if node.promiscuous:
+            self._note_promiscuous(node.node_id, True)
+
+    def _note_promiscuous(self, node_id: int, enabled: bool) -> None:
+        """Keep the promiscuous-listener registry in sync (see ``Node``)."""
+        if enabled:
+            self._promiscuous.add(node_id)
+        else:
+            self._promiscuous.discard(node_id)
+        self._promiscuous_ids = np.array(sorted(self._promiscuous), dtype=np.int64)
+
+    def _index_usable(self) -> bool:
+        """The fast paths assume the medium sees every mobility node.
+
+        When fewer nodes are attached than the mobility model knows (some
+        unit tests build partial stacks), advancing *all* mobility nodes
+        would consume RNG draws the naive scan never makes — so fall back.
+        """
+        return self.index is not None and len(self.nodes) == self.mobility.n_nodes
 
     def in_range(self, a: int, b: int) -> bool:
         """Whether nodes ``a`` and ``b`` can currently hear each other."""
+        if self.index is not None:
+            return self.index.in_range(a, b, self.sim.now)
         return self.mobility.distance(a, b, self.sim.now) <= self.tx_range
 
     def neighbors(self, node_id: int) -> list[int]:
         """Ids of all nodes currently within range of ``node_id``."""
         t = self.sim.now
+        if self._index_usable():
+            return self.index.neighbors(node_id, t, n_nodes=len(self.nodes))
+        return self._neighbors_scan(node_id, t)
+
+    def _neighbors_scan(self, node_id: int, t: float) -> list[int]:
+        """Reference O(N) scan (pre-index behaviour, bit-exact)."""
         x, y = self.mobility.position(node_id, t)
         result = []
         for other in range(len(self.nodes)):
@@ -117,18 +179,19 @@ class WirelessMedium:
     def _tx_time(self, packet: Packet) -> float:
         return packet.size * 8.0 / self.bandwidth_bps + self.mac_overhead
 
-    def _acquire_transmitter(self, sender: int, packet: Packet) -> float | None:
+    def _acquire_transmitter(self, sender: int, tx_time: float) -> float | None:
         """Reserve the sender's transmitter; return the airtime start.
 
         Returns ``None`` (congestion drop) when the interface queue is too
-        long.
+        long.  ``tx_time`` is computed once per transmission by the caller
+        and shared with the arrival schedule.
         """
         now = self.sim.now
         start = max(now, self._busy_until[sender])
         if start - now > self.max_queue_delay:
             self.congestion_drops += 1
             return None
-        self._busy_until[sender] = start + self._tx_time(packet)
+        self._busy_until[sender] = start + tx_time
         return start
 
     def broadcast(self, sender: int, packet: Packet) -> bool:
@@ -138,10 +201,11 @@ class WirelessMedium:
         queue.  Individual receivers may still miss the packet through
         ``loss_rate``.
         """
-        start = self._acquire_transmitter(sender, packet)
+        tx_time = self._tx_time(packet)
+        start = self._acquire_transmitter(sender, tx_time)
         if start is None:
             return False
-        arrival = start + self._tx_time(packet)
+        arrival = start + tx_time
         self.sim.schedule_at(arrival, self._deliver_broadcast, sender, packet)
         return True
 
@@ -169,10 +233,11 @@ class WirelessMedium:
         Returns False on an interface-queue drop (``on_fail`` is *not*
         invoked in that case; the caller already knows).
         """
-        start = self._acquire_transmitter(sender, packet)
+        tx_time = self._tx_time(packet)
+        start = self._acquire_transmitter(sender, tx_time)
         if start is None:
             return False
-        arrival = start + self._tx_time(packet)
+        arrival = start + tx_time
         self.sim.schedule_at(arrival, self._deliver_unicast, sender, packet, next_hop, on_fail)
         return True
 
@@ -191,7 +256,23 @@ class WirelessMedium:
         )
         if ok:
             self.sim.schedule(rng.uniform(0.0, 0.001), self._hand_to_node, next_hop, packet, sender)
-            # Promiscuous taps: bystanders in range overhear the exchange.
+            self._deliver_taps(sender, packet, next_hop, rng)
+        elif on_fail is not None:
+            self.sim.schedule(self.retry_delay, on_fail, packet, next_hop)
+
+    def _deliver_taps(self, sender: int, packet: Packet, next_hop: int, rng) -> None:
+        """Promiscuous taps: bystanders in range overhear the exchange.
+
+        Fast path: when no registered node listens promiscuously (AODV
+        scenarios), the geometric sweep is skipped entirely.  The naive
+        sweep's side effect of lazily advancing every node's mobility —
+        which consumes shared-RNG waypoint draws — is replicated by an
+        explicit advance, keeping traces bit-identical.  When listeners
+        exist, only *their* distances are tested (ascending id order, the
+        same order the naive neighbor sweep would visit them in).
+        """
+        if not self._index_usable():
+            # Reference path: full neighbor sweep, pre-index behaviour.
             for bystander in self.neighbors(sender):
                 if bystander == next_hop:
                     continue
@@ -200,8 +281,33 @@ class WirelessMedium:
                     self.sim.schedule(
                         rng.uniform(0.0, 0.001), node.on_overhear, packet, sender
                     )
-        elif on_fail is not None:
-            self.sim.schedule(self.retry_delay, on_fail, packet, next_hop)
+            return
+        t = self.sim.now
+        mobility = self.mobility
+        # Draw-order parity with the naive sweep: sender first, then all.
+        x, y = mobility.position(sender, t)
+        mobility.advance_all(t)
+        ids = self._promiscuous_ids
+        if ids.size == 0:
+            return
+        # Prune listeners to the grid block around the sender (a strict
+        # superset of the in-range set — DSR marks *every* node
+        # promiscuous, so this is what keeps taps sub-O(N)).
+        block = self.index.candidates_near(x, y, t)
+        if block.size < ids.size:
+            ids = np.intersect1d(ids, block, assume_unique=True)
+        ids = ids[(ids != sender) & (ids != next_hop)]
+        if ids.size == 0:
+            return
+        # Ascending order, exact unit-disc decisions — identical to the
+        # naive sweep's visit order and predicate.
+        for bystander in self.index.filter_in_range(ids, x, y, t).tolist():
+            self.sim.schedule(
+                rng.uniform(0.0, 0.001),
+                self.nodes[bystander].on_overhear,
+                packet,
+                sender,
+            )
 
     def _hand_to_node(self, receiver: int, packet: Packet, sender: int) -> None:
         self.delivered += 1

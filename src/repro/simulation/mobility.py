@@ -10,6 +10,27 @@ heap no matter how often positions are queried.
 ``speed()`` exposes the node's current scalar velocity — the paper's
 *absolute velocity* feature (Feature Set I, Table 4) reads it at every
 sampling tick.
+
+Motion state is kept as parallel numpy arrays (struct-of-arrays) so whole
+batches of positions can be evaluated in single vector expressions:
+:meth:`RandomWaypointMobility.positions_at` (all nodes, memoized per
+timestamp — the spatial grid rebuilds from it) and
+:meth:`RandomWaypointMobility.positions_of` (an id subset — neighbor-query
+candidates).
+
+Determinism contract
+--------------------
+Waypoint draws come lazily from the *shared* simulator RNG, so the byte
+content of a trace depends on the exact order in which nodes are advanced.
+Two invariants keep the vectorized fast paths bit-identical to the naive
+per-node scans:
+
+* :meth:`advance_all` advances stale nodes in **ascending node-id order** —
+  the same order the naive ``for other in range(n)`` scans used;
+* the vectorized evaluators use the **same IEEE-754 expressions** as the
+  scalar :meth:`position` (``frac = (t - depart) / (arrive - depart)``;
+  ``x = x0 + frac * (x1 - x0)``), so vectorized coordinates are bit-equal
+  to scalar ones.
 """
 
 from __future__ import annotations
@@ -17,21 +38,7 @@ from __future__ import annotations
 import math
 import random
 
-
-class _NodeMotion:
-    """Per-node motion state: one leg of travel plus the pause after it."""
-
-    __slots__ = ("x0", "y0", "x1", "y1", "speed", "depart", "arrive", "pause_until")
-
-    def __init__(self, x: float, y: float, now: float):
-        self.x0 = x
-        self.y0 = y
-        self.x1 = x
-        self.y1 = y
-        self.speed = 0.0
-        self.depart = now
-        self.arrive = now
-        self.pause_until = now
+import numpy as np
 
 
 class RandomWaypointMobility:
@@ -72,43 +79,142 @@ class RandomWaypointMobility:
         self.min_speed = min_speed
         self.pause_time = pause_time
         self._rng = rng if rng is not None else random.Random(0)
-        self._motion = [
-            _NodeMotion(self._rng.uniform(0, area[0]), self._rng.uniform(0, area[1]), 0.0)
-            for _ in range(n_nodes)
-        ]
+        # Struct-of-arrays motion state: one leg of travel plus the pause
+        # after it, per node.
+        self._x0 = np.empty(n_nodes)
+        self._y0 = np.empty(n_nodes)
+        self._x1 = np.empty(n_nodes)
+        self._y1 = np.empty(n_nodes)
+        self._speed = np.zeros(n_nodes)
+        self._depart = np.zeros(n_nodes)
+        self._arrive = np.zeros(n_nodes)
+        self._pause_until = np.zeros(n_nodes)
+        for i in range(n_nodes):
+            # Draw order (x then y, node by node) matches the historical
+            # per-node constructor so seeds reproduce identical layouts.
+            x = self._rng.uniform(0, area[0])
+            y = self._rng.uniform(0, area[1])
+            self._x0[i] = x
+            self._y0[i] = y
+            self._x1[i] = x
+            self._y1[i] = y
+        #: Bumped whenever positions change other than by time passing
+        #: (teleports in :class:`StaticMobility`); spatial indexes watch it.
+        self._version = 0
+        #: Single-entry memo of the last all-nodes position evaluation.
+        self._pos_cache: tuple[float, int, np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
-    def _advance(self, node_id: int, t: float) -> _NodeMotion:
+    @property
+    def version(self) -> int:
+        """Counter bumped on any non-kinematic position change."""
+        return self._version
+
+    def _advance(self, node_id: int, t: float) -> None:
         """Advance a node's motion state up to time ``t`` (lazy stepping)."""
-        m = self._motion[node_id]
-        while t >= m.pause_until:
+        while t >= self._pause_until[node_id]:
             # The node has finished its pause at (x1, y1): start a new leg.
-            m.x0, m.y0 = m.x1, m.y1
-            m.x1 = self._rng.uniform(0, self.area[0])
-            m.y1 = self._rng.uniform(0, self.area[1])
-            m.speed = self._rng.uniform(self.min_speed, self.max_speed)
-            m.depart = m.pause_until
-            dist = math.hypot(m.x1 - m.x0, m.y1 - m.y0)
-            m.arrive = m.depart + dist / m.speed
-            m.pause_until = m.arrive + self.pause_time
-        return m
+            x0 = float(self._x1[node_id])
+            y0 = float(self._y1[node_id])
+            self._x0[node_id] = x0
+            self._y0[node_id] = y0
+            x1 = self._rng.uniform(0, self.area[0])
+            y1 = self._rng.uniform(0, self.area[1])
+            speed = self._rng.uniform(self.min_speed, self.max_speed)
+            self._x1[node_id] = x1
+            self._y1[node_id] = y1
+            self._speed[node_id] = speed
+            depart = float(self._pause_until[node_id])
+            self._depart[node_id] = depart
+            arrive = depart + math.hypot(x1 - x0, y1 - y0) / speed
+            self._arrive[node_id] = arrive
+            self._pause_until[node_id] = arrive + self.pause_time
+
+    def advance_all(self, t: float) -> None:
+        """Advance every stale node to ``t``, in ascending node-id order.
+
+        The common case (no node finished its pause) costs one vectorized
+        comparison.  The ascending order replicates the draw sequence of
+        the naive ``for other in range(n): position(other, t)`` scans, so
+        the shared-RNG stream is unchanged — see the module docstring.
+        """
+        stale = self._pause_until <= t
+        if stale.any():
+            for node_id in np.nonzero(stale)[0]:
+                self._advance(int(node_id), t)
 
     def position(self, node_id: int, t: float) -> tuple[float, float]:
         """Position of ``node_id`` at simulation time ``t``."""
-        m = self._advance(node_id, t)
-        if t >= m.arrive:
-            return (m.x1, m.y1)
-        if m.arrive == m.depart:
-            return (m.x1, m.y1)
-        frac = (t - m.depart) / (m.arrive - m.depart)
-        return (m.x0 + frac * (m.x1 - m.x0), m.y0 + frac * (m.y1 - m.y0))
+        self._advance(node_id, t)
+        arrive = self._arrive[node_id]
+        depart = self._depart[node_id]
+        if t >= arrive or arrive == depart:
+            return (float(self._x1[node_id]), float(self._y1[node_id]))
+        frac = (t - depart) / (arrive - depart)
+        x0 = self._x0[node_id]
+        y0 = self._y0[node_id]
+        return (
+            float(x0 + frac * (self._x1[node_id] - x0)),
+            float(y0 + frac * (self._y1[node_id] - y0)),
+        )
+
+    def _interpolate(self, idx, t: float) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized position evaluation over ``idx`` (slice or id array).
+
+        Callers must have advanced the selected nodes to ``t`` already.
+        Expression-identical to :meth:`position`, so results are bit-equal.
+        """
+        x1 = self._x1[idx]
+        y1 = self._y1[idx]
+        depart = self._depart[idx]
+        arrive = self._arrive[idx]
+        span = arrive - depart
+        moving = (t < arrive) & (span > 0.0)
+        frac = (t - depart) / np.where(moving, span, 1.0)
+        x0 = self._x0[idx]
+        y0 = self._y0[idx]
+        xs = np.where(moving, x0 + frac * (x1 - x0), x1)
+        ys = np.where(moving, y0 + frac * (y1 - y0), y1)
+        return xs, ys
+
+    def positions_at(self, t: float) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized positions of *all* nodes at time ``t``.
+
+        Returns ``(xs, ys)`` float64 arrays, bit-equal to calling
+        :meth:`position` per node.  Memoized per timestamp (and mobility
+        version).  Callers must treat the arrays as read-only.
+        """
+        cache = self._pos_cache
+        if cache is not None and cache[0] == t and cache[1] == self._version:
+            return cache[2], cache[3]
+        self.advance_all(t)
+        xs, ys = self._interpolate(slice(None), t)
+        self._pos_cache = (t, self._version, xs, ys)
+        return xs, ys
+
+    def positions_of(self, ids: np.ndarray, t: float) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized positions of an id subset at time ``t``.
+
+        Assumes :meth:`advance_all` (or equivalent) already ran for ``t``
+        — this is the inner call of a neighbor query, after the advance.
+        """
+        return self._interpolate(ids, t)
 
     def speed(self, node_id: int, t: float) -> float:
         """Current scalar speed: the leg speed while moving, 0 while paused."""
-        m = self._advance(node_id, t)
-        if t >= m.arrive:
+        self._advance(node_id, t)
+        if t >= self._arrive[node_id]:
             return 0.0
-        return m.speed
+        return float(self._speed[node_id])
+
+    def speeds_at(self, t: float) -> list[float]:
+        """Vectorized scalar speeds of all nodes at time ``t``.
+
+        Equivalent to ``[speed(i, t) for i in range(n_nodes)]`` — both in
+        values and in shared-RNG draw order.
+        """
+        self.advance_all(t)
+        return np.where(t < self._arrive, self._speed, 0.0).tolist()
 
     def distance(self, a: int, b: int, t: float) -> float:
         """Euclidean distance between two nodes at time ``t``."""
@@ -134,13 +240,35 @@ class StaticMobility(RandomWaypointMobility):
         self.min_speed = 0.0
         self.pause_time = math.inf
         self._positions = list(positions)
+        self._version = 0
+        self._pos_cache = None
+
+    def advance_all(self, t: float) -> None:
+        pass
 
     def position(self, node_id: int, t: float) -> tuple[float, float]:
         return self._positions[node_id]
 
+    def positions_at(self, t: float) -> tuple[np.ndarray, np.ndarray]:
+        cache = self._pos_cache
+        if cache is not None and cache[1] == self._version:
+            return cache[2], cache[3]
+        xs = np.array([x for x, _ in self._positions])
+        ys = np.array([y for _, y in self._positions])
+        self._pos_cache = (0.0, self._version, xs, ys)
+        return xs, ys
+
+    def positions_of(self, ids: np.ndarray, t: float) -> tuple[np.ndarray, np.ndarray]:
+        xs, ys = self.positions_at(t)
+        return xs[ids], ys[ids]
+
     def speed(self, node_id: int, t: float) -> float:
         return 0.0
+
+    def speeds_at(self, t: float) -> list[float]:
+        return [0.0] * self.n_nodes
 
     def move(self, node_id: int, position: tuple[float, float]) -> None:
         """Teleport a node (tests use this to break and form links)."""
         self._positions[node_id] = position
+        self._version += 1

@@ -49,7 +49,7 @@ class Node:
         self.sim = sim
         self.medium = medium
         self.stats = stats
-        self.promiscuous = promiscuous
+        self._promiscuous = bool(promiscuous)
         self.routing: "RoutingProtocol | None" = None
         self.agents: dict[int, TrafficAgent] = {}
         self.drop_filter: DropFilter | None = None
@@ -60,6 +60,20 @@ class Node:
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
+    @property
+    def promiscuous(self) -> bool:
+        """Whether this node taps unicasts it overhears (DSR sets this)."""
+        return self._promiscuous
+
+    @promiscuous.setter
+    def promiscuous(self, value: bool) -> None:
+        self._promiscuous = bool(value)
+        # Keep the medium's listener registry in sync so unicast delivery
+        # can skip the bystander sweep when nobody is listening.
+        nodes = self.medium.nodes
+        if self.node_id < len(nodes) and nodes[self.node_id] is self:
+            self.medium._note_promiscuous(self.node_id, self._promiscuous)
+
     def set_routing(self, protocol: "RoutingProtocol") -> None:
         """Install the routing protocol (exactly once)."""
         if self.routing is not None:

@@ -224,7 +224,8 @@ def run_scenario(
     def sample_tick() -> None:
         t = sim.now
         tick_times.append(t)
-        speeds.append([mobility.speed(i, t) for i in range(config.n_nodes)])
+        # Vectorized; value- and RNG-draw-identical to per-node speed().
+        speeds.append(mobility.speeds_at(t))
         if t + config.sampling_period <= config.duration:
             sim.schedule(config.sampling_period, sample_tick)
 

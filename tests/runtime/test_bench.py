@@ -1,0 +1,66 @@
+"""Unit tests for the benchmark harness plumbing and stage metrics."""
+
+import json
+
+import pytest
+
+from repro.runtime.bench import _entry, write_bench
+from repro.runtime.metrics import RuntimeMetrics
+
+
+class TestBenchEntries:
+    def test_entry_speedup(self):
+        e = _entry("x", 2.0, 0.5, n_nodes=30)
+        assert e["speedup"] == 4.0
+        assert e["n_nodes"] == 30
+
+    def test_entry_zero_optimized(self):
+        assert _entry("x", 1.0, 0.0)["speedup"] == float("inf")
+
+    def test_write_bench_round_trip(self, tmp_path):
+        payload = {"suite": "model", "entries": [_entry("a", 1.0, 0.5)]}
+        path = tmp_path / "BENCH_model.json"
+        write_bench(payload, path)
+        assert json.loads(path.read_text()) == payload
+        # Stable output: keys sorted, trailing newline (diff-friendly).
+        assert path.read_text().endswith("\n")
+
+
+class TestStageMetrics:
+    def test_record_stage_accumulates(self):
+        m = RuntimeMetrics()
+        m.record_stage("fit", 1.5)
+        m.record_stage("fit", 0.5)
+        m.record_stage("score", 0.25)
+        assert m.stage_seconds == {"fit": 2.0, "score": 0.25}
+
+    def test_stage_event_emitted(self):
+        events = []
+        m = RuntimeMetrics(on_event=events.append)
+        m.record_stage("simulate", 3.0)
+        assert events[-1].kind == "stage"
+        assert events[-1].label == "simulate"
+        assert events[-1].seconds == 3.0
+
+    def test_summary_includes_stages(self):
+        m = RuntimeMetrics()
+        m.record_stage("extract", 1.0)
+        assert "extract=1.0s" in m.summary()
+
+    def test_reset_clears_stages(self):
+        m = RuntimeMetrics()
+        m.record_stage("fit", 1.0)
+        m.reset()
+        assert m.stage_seconds == {}
+
+
+class TestModelBenchQuick:
+    def test_quick_model_bench_runs_and_verifies(self):
+        """The quick model suite asserts scoring equivalence internally."""
+        from repro.runtime.bench import run_model_bench
+
+        payload = run_model_bench(quick=True)
+        kinds = {e["kind"] for e in payload["entries"]}
+        assert kinds == {"scoring", "training"}
+        for e in payload["entries"]:
+            assert e["optimized_seconds"] > 0

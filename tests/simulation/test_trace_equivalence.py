@@ -1,0 +1,111 @@
+"""End-to-end trace equivalence: spatial index vs naive reference scan.
+
+The PR's hard constraint: the fast-pathed kernel must produce traces that
+are *byte-identical* to the pre-optimization reference — every packet
+event, every sampling tick, every RNG-dependent jitter.  Each test runs
+the same seeded scenario twice (``REPRO_SPATIAL_INDEX=0`` → naive scan,
+``=1`` → grid index) and compares the complete serialized trace.
+"""
+
+import pickle
+
+import pytest
+
+from repro.attacks import BlackholeAttack, DropMode, PacketDroppingAttack
+from repro.simulation.scenario import ScenarioConfig, run_scenario
+
+
+def trace_fingerprint(trace) -> bytes:
+    """Serialize everything observable about a trace, bit for bit."""
+    recorder_state = [
+        {
+            "packets": trace.recorder[i].packet_times,
+            "routes": trace.recorder[i].route_times,
+            "lengths": trace.recorder[i].route_length_samples,
+        }
+        for i in range(trace.n_nodes)
+    ]
+    return pickle.dumps((
+        recorder_state,
+        trace.tick_times,
+        trace.speeds,
+        trace.attack_intervals,
+        trace.data_originated,
+        trace.data_delivered,
+    ))
+
+
+def run_both_modes(config, attacks, monkeypatch):
+    monkeypatch.setenv("REPRO_SPATIAL_INDEX", "0")
+    naive = run_scenario(config, attacks)
+    monkeypatch.setenv("REPRO_SPATIAL_INDEX", "1")
+    indexed = run_scenario(config, attacks)
+    return naive, indexed
+
+
+def assert_equivalent(naive, indexed):
+    # Counters first: a cheap mismatch gives a readable failure before
+    # the byte-level comparison.
+    assert naive.recorder.total_packets() == indexed.recorder.total_packets()
+    assert naive.data_originated == indexed.data_originated
+    assert naive.data_delivered == indexed.data_delivered
+    assert naive.tick_times == indexed.tick_times
+    assert trace_fingerprint(naive) == trace_fingerprint(indexed)
+
+
+def make_attacks(kind: str, n_nodes: int, duration: float):
+    if kind == "none":
+        return []
+    attacker = n_nodes - 1
+    sessions = [(0.3 * duration, 0.6 * duration)]
+    if kind == "blackhole":
+        return [BlackholeAttack(attacker=attacker, sessions=sessions)]
+    return [
+        PacketDroppingAttack(
+            attacker=attacker, sessions=sessions, mode=DropMode.CONSTANT
+        )
+    ]
+
+
+@pytest.mark.parametrize("protocol", ["aodv", "dsr"])
+@pytest.mark.parametrize("attack", ["none", "blackhole"])
+def test_30_node_trace_equivalence(protocol, attack, monkeypatch):
+    """30-node scenarios, both protocols, with and without an attack."""
+    config = ScenarioConfig(
+        protocol=protocol, n_nodes=30, duration=60.0, max_connections=20, seed=11
+    )
+    naive, indexed = run_both_modes(
+        config, make_attacks(attack, 30, 60.0), monkeypatch
+    )
+    assert_equivalent(naive, indexed)
+    # The scenarios must actually exercise the medium.
+    assert indexed.recorder.total_packets() > 0
+
+
+@pytest.mark.parametrize(
+    "protocol,attack",
+    [("aodv", "dropping"), ("dsr", "blackhole")],
+)
+def test_100_node_trace_equivalence(protocol, attack, monkeypatch):
+    """100-node scenarios: the scale where the grid actually prunes.
+
+    DSR runs promiscuous taps, exercising the skipped-bystander-sweep
+    fast path; the dropping attack exercises unicast failure feedback.
+    """
+    config = ScenarioConfig(
+        protocol=protocol, n_nodes=100, duration=12.0, max_connections=30, seed=23
+    )
+    naive, indexed = run_both_modes(
+        config, make_attacks(attack, 100, 12.0), monkeypatch
+    )
+    assert_equivalent(naive, indexed)
+
+
+def test_tcp_transport_equivalence(monkeypatch):
+    """TCP feedback loops amplify any RNG drift; keep them covered."""
+    config = ScenarioConfig(
+        protocol="dsr", transport="tcp", n_nodes=25, duration=50.0,
+        max_connections=15, seed=31,
+    )
+    naive, indexed = run_both_modes(config, [], monkeypatch)
+    assert_equivalent(naive, indexed)
