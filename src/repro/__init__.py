@@ -46,10 +46,18 @@ from repro.features import FeatureDataset, extract_features
 from repro.ml import CLASSIFIERS, C45Classifier, NaiveBayesClassifier, RipperClassifier
 from repro.runtime import ArtifactCache, RuntimeMetrics, Session, TraceEvent, default_session
 from repro.simulation import ScenarioConfig, SimulationTrace, run_scenario
+from repro.stream import (
+    Alarm,
+    OnlineDetector,
+    StreamingExtractor,
+    StreamResult,
+    replay_trace,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Alarm",
     "CLASSIFIERS",
     "ArtifactCache",
     "C45Classifier",
@@ -60,12 +68,15 @@ __all__ = [
     "ExperimentPlan",
     "FeatureDataset",
     "NaiveBayesClassifier",
+    "OnlineDetector",
     "RegressionCrossFeatureModel",
     "RipperClassifier",
     "RuntimeMetrics",
     "ScenarioConfig",
     "Session",
     "SimulationTrace",
+    "StreamResult",
+    "StreamingExtractor",
     "TraceBundle",
     "TraceEvent",
     "TwoNodeExample",
@@ -76,6 +87,7 @@ __all__ = [
     "default_session",
     "extract_features",
     "four_scenarios",
+    "replay_trace",
     "run_detection_experiment",
     "run_scenario",
     "select_threshold",

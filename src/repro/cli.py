@@ -9,6 +9,9 @@ Usage examples::
     python -m repro detect --protocol aodv --transport udp \
         --classifier c45 --duration 1000 --jobs 4
 
+    # Online detection: train offline, stream a live attack scenario
+    python -m repro stream --protocol aodv --transport udp --duration 1000
+
     # The paper's §3 illustrative example (Tables 1-3)
     python -m repro illustrate
 
@@ -80,6 +83,8 @@ def _progress_printer(event) -> None:
         print(f"  [retry]  {event.label}")
     elif event.kind == "timeout":
         print(f"  [timeout] {event.label}  (limit {event.seconds:.0f}s)")
+    elif event.kind == "alarm":
+        print(f"  [ALARM]  {event.label}")
     elif event.kind in ("fallback", "respawn", "task_failed", "pool_failed",
                         "cache_write_failed", "cache_off"):
         print(f"  [runtime] {event.label}")
@@ -186,6 +191,47 @@ def cmd_detect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Train offline, then stream one live scenario through the detector."""
+    from repro.eval.experiments import ExperimentPlan
+
+    plan = ExperimentPlan(
+        protocol=args.protocol,
+        transport=args.transport,
+        n_nodes=args.nodes,
+        duration=args.duration,
+        max_connections=args.connections,
+        attack_kind=args.attack,
+    )
+    session = _build_session(args)
+    kind = "normal (no attack)" if args.normal else f"attack={args.attack}"
+    print(f"streaming online detection: {args.protocol}/{args.transport}, "
+          f"{kind}, classifier={args.classifier}, jobs={session.jobs}")
+    print("training detector on cached normal traces ...")
+    session.fitted_detector(plan, classifier=args.classifier, method=args.method)
+    print("streaming live scenario (alarms print as windows close) ...")
+    result = session.stream_detect(
+        plan,
+        classifier=args.classifier,
+        method=args.method,
+        seed=args.stream_seed,
+        attack=not args.normal,
+    )
+    print(f"stream                  : {result.summary()}")
+    print(f"calibrated threshold    : {result.threshold:.3f}  ({result.method})")
+    if result.labels.any():
+        recall, precision = result.recall_precision()
+        print(f"vs ground truth         : recall {recall:.2f}, "
+              f"precision {precision:.2f}")
+    else:
+        rate = len(result.alarms) / result.windows if result.windows else 0.0
+        print(f"false-alarm rate        : {rate:.3f} "
+              f"({len(result.alarms)}/{result.windows} windows)")
+    print(f"runtime                 : {session.metrics.summary()}")
+    _dump_metrics(session, args)
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Run all three classifiers on one condition and print the report."""
     from repro.eval.experiments import ExperimentPlan
@@ -274,6 +320,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_det.add_argument("--attack", choices=["mixed", "blackhole", "dropping"],
                        default="mixed")
     p_det.set_defaults(func=cmd_detect)
+
+    p_str = sub.add_parser(
+        "stream", help="online detection over one live streamed scenario"
+    )
+    _add_scenario_args(p_str)
+    _add_runtime_args(p_str)
+    p_str.add_argument("--classifier", choices=["c45", "ripper", "nbc"], default="c45")
+    p_str.add_argument(
+        "--method",
+        choices=["match_count", "avg_probability", "calibrated_probability"],
+        default="calibrated_probability",
+    )
+    p_str.add_argument("--attack", choices=["mixed", "blackhole", "dropping"],
+                       default="mixed")
+    p_str.add_argument("--normal", action="store_true",
+                       help="stream an intrusion-free trace (alarm rate should "
+                            "approach the calibrated false-alarm rate)")
+    p_str.add_argument("--stream-seed", type=int, default=None, metavar="SEED",
+                       help="mobility seed of the streamed trace (default: the "
+                            "plan's first attack seed, or first normal seed "
+                            "with --normal)")
+    p_str.set_defaults(func=cmd_stream)
 
     p_rep = sub.add_parser("report", help="compare all classifiers on one condition")
     _add_scenario_args(p_rep)

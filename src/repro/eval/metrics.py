@@ -100,11 +100,19 @@ def optimal_point(curve: PrCurve) -> tuple[float, float, float]:
 
 
 def recall_precision_at(scores: np.ndarray, labels: np.ndarray, threshold: float) -> tuple[float, float]:
-    """Recall and precision at one fixed threshold (alarm iff score < t)."""
+    """Recall and precision at one fixed threshold (alarm iff score < t).
+
+    ``labels`` must contain at least one intrusion — recall ``p(A|I)`` is
+    undefined otherwise, and silently reporting 0.0 would make a
+    flawless run on a clean trace indistinguishable from a total miss
+    (raises :class:`ValueError`, like :func:`precision_recall_curve`).
+    """
     scores = np.asarray(scores, dtype=float)
     labels = np.asarray(labels, dtype=bool)
-    alarms = scores < threshold
     n_intrusions = int(labels.sum())
-    recall = float((alarms & labels).sum() / n_intrusions) if n_intrusions else 0.0
+    if n_intrusions == 0:
+        raise ValueError("need at least one intrusion to measure recall")
+    alarms = scores < threshold
+    recall = float((alarms & labels).sum() / n_intrusions)
     precision = float((alarms & labels).sum() / alarms.sum()) if alarms.any() else 0.0
     return recall, precision

@@ -47,9 +47,19 @@ def averaged_score_series(
 
 
 def smoothed(series: ScoreSeries, window: int = 5) -> ScoreSeries:
-    """Moving-average smoothing for readability (plot cosmetics only)."""
+    """Moving-average smoothing for readability (plot cosmetics only).
+
+    ``window`` must be odd: an even window has no centre sample, so the
+    smoothed curve would shift by half a window against its time axis —
+    visually displacing attack onsets in the Figure 3/5 plots.
+    """
     if window < 1:
         raise ValueError("window must be >= 1")
+    if window % 2 == 0:
+        raise ValueError(
+            f"window must be odd to stay centred (got {window}); an even "
+            f"window shifts the curve half a sample against its times"
+        )
     kernel = np.ones(window) / window
     pad = window // 2
     padded = np.pad(series.scores, pad, mode="edge")

@@ -61,13 +61,24 @@ class FeatureDataset:
 
     @staticmethod
     def concat(datasets: list["FeatureDataset"]) -> "FeatureDataset":
-        """Stack several datasets (e.g. multiple training traces)."""
+        """Stack several datasets (e.g. multiple training traces).
+
+        All inputs must share one monitor node — the result carries a
+        single ``monitor``, and silently stamping the first dataset's id
+        on rows observed elsewhere would misattribute them.
+        """
         if not datasets:
             raise ValueError("need at least one dataset")
         first = datasets[0]
         for ds in datasets[1:]:
             if ds.feature_names != first.feature_names:
                 raise ValueError("datasets have different feature sets")
+            if ds.monitor != first.monitor:
+                raise ValueError(
+                    f"datasets observe different monitors "
+                    f"({first.monitor} vs {ds.monitor}); concat would "
+                    f"mislabel their rows"
+                )
         return FeatureDataset(
             X=np.vstack([ds.X for ds in datasets]),
             feature_names=first.feature_names,

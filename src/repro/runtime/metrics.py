@@ -49,9 +49,12 @@ class TraceEvent:
       the disk (``label`` holds the error);
     * ``"cache_off"`` — repeated write failures disabled cache writes for
       the rest of the run;
+    * ``"alarm"`` — the online detector raised an anomaly alarm during a
+      streaming run (``label`` describes it, ``seconds`` holds the
+      scoring latency);
     * ``"stage"`` — a pipeline stage finished (``label`` holds the stage
-      name — ``simulate`` / ``extract`` / ``fit`` / ``score`` — and
-      ``seconds`` its wall-clock).
+      name — ``simulate`` / ``extract`` / ``fit`` / ``score`` /
+      ``stream`` — and ``seconds`` its wall-clock).
     """
 
     kind: str
@@ -85,6 +88,7 @@ class RuntimeMetrics:
         self.task_failures = 0
         self.pool_failures = 0
         self.cache_write_failures = 0
+        self.alarms = 0
         #: (label, wall-clock seconds) per simulated trace, completion order.
         self.trace_seconds: list[tuple[str, float]] = []
         #: Accumulated wall-clock per pipeline stage (``simulate`` /
@@ -168,6 +172,12 @@ class RuntimeMetrics:
         """Repeated write failures switched the cache to read-only."""
         self._emit("cache_off", reason)
 
+    # -- streaming -------------------------------------------------------
+    def record_alarm(self, label: str = "", latency_s: float = 0.0) -> None:
+        """The online detector raised an alarm during a streaming run."""
+        self.alarms += 1
+        self._emit("alarm", label, latency_s)
+
     # -- stage timing ----------------------------------------------------
     def record_stage(self, stage: str, seconds: float) -> None:
         """Accumulate wall-clock into a named pipeline stage."""
@@ -196,6 +206,7 @@ class RuntimeMetrics:
         self.task_failures = 0
         self.pool_failures = 0
         self.cache_write_failures = 0
+        self.alarms = 0
         self.trace_seconds = []
         self.stage_seconds = {}
 
@@ -219,6 +230,8 @@ class RuntimeMetrics:
             extras.append(f"{self.task_failures} failed")
         if self.cache_write_failures:
             extras.append(f"{self.cache_write_failures} cache write failures")
+        if self.alarms:
+            extras.append(f"{self.alarms} alarms")
         if self.stage_seconds:
             stages = " ".join(
                 f"{k}={v:.1f}s" for k, v in sorted(self.stage_seconds.items())

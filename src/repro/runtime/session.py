@@ -30,7 +30,7 @@ from __future__ import annotations
 import os
 import time
 import warnings
-from typing import TYPE_CHECKING, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from repro.eval.experiments import (
     DetectionResult,
@@ -48,7 +48,9 @@ from repro.runtime.metrics import RuntimeMetrics
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.attacks.base import Attack
+    from repro.core.model import CrossFeatureDetector
     from repro.simulation.scenario import ScenarioConfig, SimulationTrace
+    from repro.stream.detector import Alarm, StreamResult
 
 #: File name of the sweep resume journal inside the cache directory.
 _JOURNAL_NAME = "sweep.journal"
@@ -199,6 +201,7 @@ class Session:
         self._raw: dict[ExperimentPlan, RawTraces] = {}
         self._bundles: dict[ExperimentPlan, TraceBundle] = {}
         self._results: dict[tuple, DetectionResult] = {}
+        self._detectors: dict[tuple, "CrossFeatureDetector"] = {}
 
     # ------------------------------------------------------------------
     # Trace level
@@ -363,6 +366,146 @@ class Session:
                 stage_hook=self.metrics.record_stage,
             )
         return self._results[key]
+
+    def fitted_detector(
+        self,
+        plan: ExperimentPlan,
+        classifier: str = "c45",
+        method: str = "calibrated_probability",
+        false_alarm_rate: float = 0.02,
+        max_models: int | None = None,
+        n_buckets: int = 5,
+        n_jobs: int | None = 1,
+    ) -> "CrossFeatureDetector":
+        """A trained + calibrated detector for one plan (memoised per knob set).
+
+        Trains on the plan's training traces and calibrates the decision
+        threshold on its held-out calibration trace, exactly as
+        :meth:`detect` does — but returns the fitted detector itself, for
+        online deployment (``n_jobs`` is excluded from the memo key;
+        results are identical for any value).
+        """
+        from repro.core.model import CrossFeatureDetector
+        from repro.ml import CLASSIFIERS
+
+        if classifier not in CLASSIFIERS:
+            raise ValueError(
+                f"unknown classifier {classifier!r}; have {sorted(CLASSIFIERS)}"
+            )
+        key = (plan, classifier, method, false_alarm_rate, max_models, n_buckets)
+        if key not in self._detectors:
+            bundle = self.bundle(plan)
+            detector = CrossFeatureDetector(
+                classifier_factory=CLASSIFIERS[classifier],
+                method=method,
+                false_alarm_rate=false_alarm_rate,
+                max_models=max_models,
+                n_buckets=n_buckets,
+                n_jobs=n_jobs,
+            )
+            t0 = time.perf_counter()
+            detector.fit(
+                bundle.train.X,
+                feature_names=bundle.train.feature_names,
+                calibration_X=bundle.calibration.X,
+            )
+            self.metrics.record_stage("fit", time.perf_counter() - t0)
+            self._detectors[key] = detector
+        return self._detectors[key]
+
+    def stream_detect(
+        self,
+        plan: ExperimentPlan,
+        classifier: str = "c45",
+        method: str = "calibrated_probability",
+        false_alarm_rate: float = 0.02,
+        seed: int | None = None,
+        attack: bool = True,
+        max_models: int | None = None,
+        n_buckets: int = 5,
+        n_jobs: int | None = 1,
+        on_alarm: "Callable[[Alarm], None] | None" = None,
+    ) -> "StreamResult":
+        """Online detection: train offline, then score a *live* scenario.
+
+        Trains (or reuses) the plan's detector via
+        :meth:`fitted_detector` — the training/calibration traces go
+        through the cache + executor as usual — then runs ONE fresh
+        scenario with a :class:`~repro.stream.StreamingExtractor` tap
+        wired into the monitor's recorder, scoring every sampling window
+        the moment it closes and raising :class:`~repro.stream.Alarm`
+        events (surfaced as ``"alarm"`` metrics events, so the CLI can
+        print them live).  Per-window features and scores are
+        bit-identical to the batch pipeline over the same trace.
+
+        Parameters
+        ----------
+        seed:
+            Mobility seed of the streamed trace (default: the plan's
+            first attack seed, or first normal seed with
+            ``attack=False``).
+        attack:
+            ``False`` streams an intrusion-free trace instead (expected
+            alarm rate ≈ the calibrated false-alarm rate).
+        on_alarm:
+            Extra callback invoked with each :class:`Alarm` as it fires.
+
+        The streamed run itself bypasses the artifact cache: taps consume
+        events as they happen, so the trace is simulated fresh (timed as
+        the ``stream`` stage).  Ground-truth labels are attached post hoc
+        from the completed trace under the plan's label policy.
+        """
+        import numpy as np
+
+        from repro.simulation.scenario import run_scenario
+        from repro.stream.detector import OnlineDetector
+        from repro.stream.extractor import extractor_for_config
+
+        detector = self.fitted_detector(
+            plan,
+            classifier=classifier,
+            method=method,
+            false_alarm_rate=false_alarm_rate,
+            max_models=max_models,
+            n_buckets=n_buckets,
+            n_jobs=n_jobs,
+        )
+
+        if seed is None:
+            seed = plan.attack_seeds[0] if attack else plan.normal_seeds[0]
+        config = plan.scenario_config(seed)
+        attacks = plan.build_attacks() if attack else []
+
+        def relay(alarm: "Alarm") -> None:
+            self.metrics.record_alarm(
+                f"window t={alarm.time:g}s score={alarm.score:.4f} "
+                f"< {alarm.threshold:.4f}",
+                alarm.latency_s,
+            )
+            if on_alarm is not None:
+                on_alarm(alarm)
+
+        online = OnlineDetector.from_detector(
+            detector, monitor=plan.monitor, on_alarm=relay
+        )
+        tap = extractor_for_config(
+            config,
+            monitor=plan.monitor,
+            periods=plan.periods,
+            warmup=plan.warmup,
+            on_row=online.consume,
+            keep_rows=False,
+        )
+        t0 = time.perf_counter()
+        trace = run_scenario(config, attacks=attacks, taps=[tap])
+        elapsed = time.perf_counter() - t0
+        self.metrics.record_stage("stream", elapsed)
+
+        ticks = np.asarray(trace.tick_times, dtype=float)
+        labels = np.asarray(trace.window_labels(plan.label_policy), dtype=bool)
+        if plan.warmup > 0:
+            labels = labels[ticks >= plan.warmup]
+        return online.result(labels=labels, elapsed_s=elapsed)
 
     def sweep(
         self,

@@ -155,8 +155,20 @@ def build_protocol(node: Node, config: ScenarioConfig):
 def run_scenario(
     config: ScenarioConfig,
     attacks: Sequence["Attack"] = (),
+    taps: Sequence = (),
 ) -> SimulationTrace:
-    """Run one complete MANET scenario and return its trace."""
+    """Run one complete MANET scenario and return its trace.
+
+    ``taps`` are live window observers (e.g.
+    :class:`repro.stream.StreamingExtractor`): each exposes a ``monitor``
+    node id plus ``bind(stats)``, ``on_tick(time, speed)`` and
+    ``finish()``.  A tap is bound to its monitor's
+    :class:`~repro.simulation.stats.NodeStats` before the run, receives
+    every sampling tick as the clock crosses it (the same instant the
+    batch trace records it), and is finalised when the run ends.  Taps
+    are pure observers — a run with taps produces a bit-identical
+    :class:`SimulationTrace` to the same run without them.
+    """
     from repro.attacks.base import merge_intervals
     from repro.traffic.cbr import CbrSink, CbrSource
     from repro.traffic.connections import generate_connections
@@ -218,6 +230,12 @@ def run_scenario(
     for attack in attacks:
         attack.install(sim, nodes)
 
+    taps = list(taps)
+    for tap in taps:
+        if not 0 <= tap.monitor < config.n_nodes:
+            raise ValueError(f"tap monitor {tap.monitor} out of range")
+        tap.bind(recorder[tap.monitor])
+
     tick_times: list[float] = []
     speeds: list[list[float]] = []
 
@@ -225,12 +243,17 @@ def run_scenario(
         t = sim.now
         tick_times.append(t)
         # Vectorized; value- and RNG-draw-identical to per-node speed().
-        speeds.append(mobility.speeds_at(t))
+        row = mobility.speeds_at(t)
+        speeds.append(row)
+        for tap in taps:
+            tap.on_tick(t, row[tap.monitor])
         if t + config.sampling_period <= config.duration:
             sim.schedule(config.sampling_period, sample_tick)
 
     sim.schedule_at(config.sampling_period, sample_tick)
     sim.run(until=config.duration)
+    for tap in taps:
+        tap.finish()
 
     intervals = merge_intervals(
         [iv for attack in attacks for iv in attack.sessions]

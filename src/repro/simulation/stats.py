@@ -39,7 +39,14 @@ class RouteEventKind(IntEnum):
 
 
 class NodeStats:
-    """Trace log of one node."""
+    """Trace log of one node.
+
+    Besides accumulating the batch trace, a ``NodeStats`` can publish each
+    event to subscribed listeners as it is logged — the tap the streaming
+    feature extractor (:mod:`repro.stream`) hangs off.  Listeners are pure
+    observers: they receive the exact ``(time, ...)`` tuples the batch log
+    stores, in the same order, and cannot alter the trace.
+    """
 
     def __init__(self, node_id: int):
         self.node_id = node_id
@@ -52,6 +59,35 @@ class NodeStats:
         }
         self.route_times: dict[int, list[float]] = {kind: [] for kind in RouteEventKind}
         self.route_length_samples: list[tuple[float, int]] = []
+        self._listeners: list = []
+
+    # ------------------------------------------------------------------
+    # Streaming taps
+    # ------------------------------------------------------------------
+    def subscribe(self, listener) -> None:
+        """Attach a live event listener.
+
+        A listener provides ``on_packet(time, ptype, direction)``,
+        ``on_route_event(time, kind)`` and ``on_route_length(time, hops)``;
+        each is invoked synchronously from the matching ``log_*`` call,
+        *after* the event is appended to the batch log.
+        """
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener) -> None:
+        """Detach a previously subscribed listener."""
+        self._listeners.remove(listener)
+
+    def __getstate__(self) -> dict:
+        # Listeners are live-session objects (they may hold models or
+        # callbacks); never persist them with a cached trace.
+        state = self.__dict__.copy()
+        state["_listeners"] = []
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_listeners", [])
 
     # ------------------------------------------------------------------
     # Logging
@@ -59,14 +95,23 @@ class NodeStats:
     def log_packet(self, time: float, ptype: PacketType, direction: Direction) -> None:
         """Record one packet event."""
         self.packet_times[(int(ptype), int(direction))].append(time)
+        if self._listeners:
+            for listener in self._listeners:
+                listener.on_packet(time, ptype, direction)
 
     def log_route_event(self, time: float, kind: RouteEventKind) -> None:
         """Record one route-fabric event."""
         self.route_times[int(kind)].append(time)
+        if self._listeners:
+            for listener in self._listeners:
+                listener.on_route_event(time, kind)
 
     def log_route_length(self, time: float, hops: int) -> None:
         """Record the hop count of a route used for a data transmission."""
         self.route_length_samples.append((time, hops))
+        if self._listeners:
+            for listener in self._listeners:
+                listener.on_route_length(time, hops)
 
     # ------------------------------------------------------------------
     # Queries (used by tests and the feature extractor)

@@ -1,0 +1,46 @@
+"""repro.stream — online detection over live sampling windows.
+
+The batch pipeline needs a finished trace; this subsystem runs the same
+analysis *while the node is being watched*: a
+:class:`StreamingExtractor` tap consumes the monitor's event stream and
+closes one feature window per sampling tick (ring buffers over the
+multi-period Table 5 grid — O(1) amortised per window), and an
+:class:`OnlineDetector` scores each window as it closes, emitting typed
+:class:`Alarm` events with latency accounting.
+
+The contract: for any scenario, the streamed per-window feature rows and
+scores are **bit-identical** to the batch
+``extract_features`` → ``CrossFeatureModel.normality_score`` path over
+the completed trace (asserted end to end by ``tests/stream/``).
+
+Usage::
+
+    from repro import ScenarioConfig, Session
+    from repro.stream import OnlineDetector, StreamingExtractor
+
+    session = Session()
+    result = session.stream_detect(plan)          # train (cached) + stream live
+
+    # or hand-wired on a raw scenario:
+    detector = OnlineDetector.from_detector(fitted, on_alarm=print)
+    tap = StreamingExtractor(monitor=0, on_row=detector.consume,
+                             sampling_period=config.sampling_period)
+    run_scenario(config, attacks, taps=[tap])
+"""
+
+from repro.stream.detector import Alarm, OnlineDetector, StreamResult
+from repro.stream.extractor import StreamingExtractor, WindowRow, extractor_for_config
+from repro.stream.replay import replay_trace
+from repro.stream.ring import EventRing, RouteLengthRing
+
+__all__ = [
+    "Alarm",
+    "EventRing",
+    "OnlineDetector",
+    "RouteLengthRing",
+    "StreamResult",
+    "StreamingExtractor",
+    "WindowRow",
+    "extractor_for_config",
+    "replay_trace",
+]

@@ -1,0 +1,208 @@
+"""Online anomaly detection over streamed feature windows.
+
+An :class:`OnlineDetector` wraps a trained
+:class:`~repro.core.model.CrossFeatureModel` plus a decision threshold
+and consumes :class:`~repro.stream.extractor.WindowRow` events as windows
+close, emitting a typed :class:`Alarm` the moment a window's normality
+score falls below the threshold — the deployment posture the paper
+frames (an IDS watching a live node), instead of scoring a finished
+trace after the fact.
+
+Scoring one row at a time is bit-identical to scoring the batch matrix:
+every step of :meth:`CrossFeatureModel.normality_score` — discretizer
+transform, sub-model tree walk, per-row probability lookup and the
+per-row mean / geometric pooling — treats rows independently, so the
+``(1, L)`` slice reproduces the batch row's bits.  The streaming test
+suite asserts this end to end.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.core.model import CrossFeatureDetector, CrossFeatureModel
+from repro.stream.extractor import WindowRow
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One anomaly alarm raised by the online detector.
+
+    ``latency_s`` is the wall-clock cost of scoring the window — the
+    delay between the window closing (row delivery) and the alarm being
+    available to act on.
+    """
+
+    index: int          #: emitted-window index at the monitor
+    time: float         #: window end, simulation seconds
+    score: float        #: normality score (higher = more normal)
+    threshold: float    #: decision threshold in force
+    monitor: int        #: observed node
+    latency_s: float    #: wall-clock seconds from window close to alarm
+
+
+@dataclass
+class StreamResult:
+    """Everything one streaming run produced.
+
+    ``labels`` is the post-hoc ground truth per emitted window (empty for
+    live deployments without it); latency statistics cover *every* scored
+    window, alarmed or not.
+    """
+
+    monitor: int
+    threshold: float
+    method: str
+    times: np.ndarray
+    scores: np.ndarray
+    labels: np.ndarray
+    alarms: list[Alarm]
+    windows: int
+    elapsed_s: float
+    mean_latency_s: float
+    max_latency_s: float
+
+    @property
+    def windows_per_second(self) -> float:
+        """Detection throughput (scored windows per wall-clock second)."""
+        return self.windows / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def recall_precision(self) -> tuple[float, float]:
+        """Operating point of the emitted alarms against ``labels``.
+
+        Requires ground truth with at least one intrusion window (raises
+        :class:`ValueError` otherwise, like the batch metrics).
+        """
+        from repro.eval.metrics import recall_precision_at
+
+        return recall_precision_at(self.scores, self.labels, self.threshold)
+
+    def summary(self) -> str:
+        """One-line human-readable digest (the CLI prints this)."""
+        return (
+            f"{self.windows} windows scored, {len(self.alarms)} alarms, "
+            f"{self.windows_per_second:.0f} windows/s, "
+            f"latency mean {self.mean_latency_s * 1e3:.2f}ms / "
+            f"max {self.max_latency_s * 1e3:.2f}ms"
+        )
+
+
+class OnlineDetector:
+    """Consume closed windows, score them, raise alarms.
+
+    Parameters
+    ----------
+    model:
+        A *trained* (and, for ``calibrated_probability``, calibrated)
+        :class:`CrossFeatureModel`.
+    threshold:
+        Decision threshold: alarm iff ``score < threshold`` (the batch
+        detector's rule).
+    method:
+        Scoring rule, as in :meth:`CrossFeatureModel.normality_score`.
+    monitor:
+        Node id stamped on emitted alarms.
+    on_alarm:
+        Callback invoked with each :class:`Alarm` as it fires.
+    """
+
+    def __init__(
+        self,
+        model: CrossFeatureModel,
+        threshold: float,
+        method: str = "avg_probability",
+        monitor: int = 0,
+        on_alarm: Callable[[Alarm], None] | None = None,
+    ):
+        if model.discretizer is None:
+            raise ValueError("model must be fitted before online detection")
+        self.model = model
+        self.threshold = float(threshold)
+        self.method = method
+        self.monitor = monitor
+        self.on_alarm = on_alarm
+        self.times: list[float] = []
+        self.scores: list[float] = []
+        self.latencies: list[float] = []
+        self.alarms: list[Alarm] = []
+
+    @classmethod
+    def from_detector(
+        cls,
+        detector: CrossFeatureDetector,
+        monitor: int = 0,
+        on_alarm: Callable[[Alarm], None] | None = None,
+    ) -> "OnlineDetector":
+        """Wrap a fitted batch :class:`CrossFeatureDetector` unchanged."""
+        if detector.threshold_ is None:
+            raise ValueError("detector must be fitted before online detection")
+        return cls(
+            model=detector.model,
+            threshold=detector.threshold_,
+            method=detector.method,
+            monitor=monitor,
+            on_alarm=on_alarm,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def windows(self) -> int:
+        """Windows scored so far."""
+        return len(self.scores)
+
+    def consume(self, row: WindowRow) -> Alarm | None:
+        """Score one closed window; return the alarm if one fires.
+
+        Wire this as the :class:`StreamingExtractor`'s ``on_row`` hook.
+        """
+        t0 = _time.perf_counter()
+        score = float(
+            self.model.normality_score(row.features[None, :], self.method)[0]
+        )
+        latency = _time.perf_counter() - t0
+        self.times.append(row.time)
+        self.scores.append(score)
+        self.latencies.append(latency)
+        if score < self.threshold:
+            alarm = Alarm(
+                index=row.index,
+                time=row.time,
+                score=score,
+                threshold=self.threshold,
+                monitor=self.monitor,
+                latency_s=latency,
+            )
+            self.alarms.append(alarm)
+            if self.on_alarm is not None:
+                self.on_alarm(alarm)
+            return alarm
+        return None
+
+    def result(
+        self,
+        labels: np.ndarray | None = None,
+        elapsed_s: float = 0.0,
+    ) -> StreamResult:
+        """Freeze the run into a :class:`StreamResult`."""
+        latencies = np.asarray(self.latencies, dtype=float)
+        return StreamResult(
+            monitor=self.monitor,
+            threshold=self.threshold,
+            method=self.method,
+            times=np.asarray(self.times, dtype=float),
+            scores=np.asarray(self.scores, dtype=float),
+            labels=(
+                np.asarray(labels, dtype=bool)
+                if labels is not None
+                else np.zeros(len(self.scores), dtype=bool)
+            ),
+            alarms=list(self.alarms),
+            windows=len(self.scores),
+            elapsed_s=elapsed_s,
+            mean_latency_s=float(latencies.mean()) if len(latencies) else 0.0,
+            max_latency_s=float(latencies.max()) if len(latencies) else 0.0,
+        )

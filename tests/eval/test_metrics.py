@@ -50,6 +50,14 @@ class TestPrCurve:
         with pytest.raises(ValueError):
             precision_recall_curve(np.array([0.1]), np.array([False]))
 
+    def test_recall_precision_at_requires_intrusions(self):
+        # Regression: labels without a single intrusion used to yield a
+        # silent recall of 0.0 — indistinguishable from a total miss.
+        scores = np.array([0.1, 0.9])
+        labels = np.array([False, False])
+        with pytest.raises(ValueError, match="intrusion"):
+            recall_precision_at(scores, labels, threshold=0.5)
+
     def test_duplicate_scores_collapse_to_one_point(self):
         scores = np.array([0.5, 0.5, 0.5, 0.9])
         labels = np.array([True, True, False, False])
@@ -140,3 +148,22 @@ class TestTimeseries:
         smooth = smoothed(series, window=5)
         assert len(smooth.scores) == 20
         assert smooth.scores.std() <= series.scores.std()
+
+    def test_smoothing_rejects_even_window(self):
+        # Regression: an even window used to shift the curve half a
+        # sample against its time axis instead of staying centred.
+        times = np.arange(0, 50, 5.0)
+        series = averaged_score_series(times, [np.linspace(0.0, 1.0, 10)])
+        with pytest.raises(ValueError, match="odd"):
+            smoothed(series, window=4)
+
+    def test_smoothing_keeps_pulse_centred(self):
+        times = np.arange(0, 55, 5.0)
+        scores = np.zeros(11)
+        scores[5] = 1.0
+        series = averaged_score_series(times, [scores])
+        smooth = smoothed(series, window=3)
+        # Symmetric input stays symmetric around the pulse — an off-centre
+        # kernel would smear it toward one side.
+        np.testing.assert_allclose(smooth.scores, smooth.scores[::-1])
+        assert smooth.scores[5] == pytest.approx(1.0 / 3.0)

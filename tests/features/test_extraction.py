@@ -102,3 +102,13 @@ class TestFeatureDataset:
                            np.array([False]), 0)
         with pytest.raises(ValueError):
             FeatureDataset.concat([a, b])
+
+    def test_concat_rejects_mismatched_monitors(self):
+        # Regression: rows observed at node 3 used to be silently stamped
+        # with the first dataset's monitor id.
+        a = FeatureDataset(np.zeros((1, 1)), ["a"], np.array([5.0]),
+                           np.array([False]), 0)
+        b = FeatureDataset(np.zeros((1, 1)), ["a"], np.array([5.0]),
+                           np.array([False]), 3)
+        with pytest.raises(ValueError, match="monitor"):
+            FeatureDataset.concat([a, b])

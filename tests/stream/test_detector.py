@@ -1,0 +1,98 @@
+"""Unit tests for the online detector's alarm and result semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import CrossFeatureDetector
+from repro.stream import OnlineDetector, StreamingExtractor
+from repro.stream.extractor import WindowRow
+
+
+class ScoreByFirstFeature:
+    """Stand-in model: the normality score is the row's first feature."""
+
+    discretizer = object()  # "fitted" marker checked by OnlineDetector
+
+    def normality_score(self, X, method):
+        assert X.shape[0] == 1
+        return np.array([float(X[0, 0])])
+
+
+def row(index, time, value):
+    return WindowRow(
+        index=index, time=time, monitor=0,
+        features=np.array([value, 0.0]),
+    )
+
+
+class TestOnlineDetector:
+    def test_alarm_fires_strictly_below_threshold(self):
+        det = OnlineDetector(ScoreByFirstFeature(), threshold=0.5)
+        assert det.consume(row(0, 5.0, 0.9)) is None
+        assert det.consume(row(1, 10.0, 0.5)) is None  # at threshold: no alarm
+        alarm = det.consume(row(2, 15.0, 0.2))
+        assert alarm is not None
+        assert alarm.index == 2 and alarm.time == 15.0
+        assert alarm.score == 0.2 and alarm.threshold == 0.5
+        assert alarm.latency_s >= 0.0
+        assert det.windows == 3 and len(det.alarms) == 1
+
+    def test_on_alarm_callback(self):
+        fired = []
+        det = OnlineDetector(
+            ScoreByFirstFeature(), threshold=0.5, on_alarm=fired.append
+        )
+        det.consume(row(0, 5.0, 0.1))
+        det.consume(row(1, 10.0, 0.9))
+        assert [a.time for a in fired] == [5.0]
+
+    def test_requires_fitted_model(self):
+        class Unfitted:
+            discretizer = None
+
+        with pytest.raises(ValueError):
+            OnlineDetector(Unfitted(), threshold=0.5)
+        with pytest.raises(ValueError):
+            OnlineDetector.from_detector(CrossFeatureDetector())
+
+    def test_result_freezes_run(self):
+        det = OnlineDetector(ScoreByFirstFeature(), threshold=0.5, monitor=3)
+        for i, v in enumerate([0.9, 0.1, 0.8]):
+            det.consume(row(i, 5.0 * (i + 1), v))
+        labels = np.array([False, True, False])
+        result = det.result(labels=labels, elapsed_s=2.0)
+        assert result.monitor == 3 and result.windows == 3
+        assert np.array_equal(result.scores, [0.9, 0.1, 0.8])
+        assert np.array_equal(result.times, [5.0, 10.0, 15.0])
+        assert np.array_equal(result.labels, labels)
+        assert result.windows_per_second == pytest.approx(1.5)
+        assert result.max_latency_s >= result.mean_latency_s > 0.0
+        recall, precision = result.recall_precision()
+        assert recall == 1.0 and precision == 1.0
+        assert "1 alarms" in result.summary()
+
+    def test_recall_precision_requires_intrusions(self):
+        det = OnlineDetector(ScoreByFirstFeature(), threshold=0.5)
+        det.consume(row(0, 5.0, 0.9))
+        result = det.result()  # default labels: all normal
+        with pytest.raises(ValueError):
+            result.recall_precision()
+
+    def test_empty_run_result(self):
+        det = OnlineDetector(ScoreByFirstFeature(), threshold=0.5)
+        result = det.result()
+        assert result.windows == 0
+        assert result.windows_per_second == 0.0
+        assert result.mean_latency_s == 0.0
+
+    def test_wires_as_extractor_hook(self):
+        det = OnlineDetector(ScoreByFirstFeature(), threshold=1.0)
+        tap = StreamingExtractor(
+            monitor=0, periods=(5.0,), sampling_period=5.0,
+            on_row=det.consume, keep_rows=False,
+        )
+        tap.on_tick(5.0, speed=0.25)  # first feature = velocity = score
+        tap.on_tick(10.0, speed=2.0)
+        tap.finish()
+        assert det.windows == 2
+        assert [a.score for a in det.alarms] == [0.25]
