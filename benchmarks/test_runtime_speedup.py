@@ -64,6 +64,13 @@ def test_warm_cache_skips_all_simulation(tmp_path):
     assert warm_result.threshold == cold_result.threshold
     assert warm_result.scores.tobytes() == cold_result.scores.tobytes()
 
+    # Stage timing coverage: detection must account for its training and
+    # scoring time in the stage ledger (the fit stage is where the
+    # shared-pass ensemble optimisation lands).
+    for session in (cold, warm):
+        assert session.metrics.stage_seconds.get("fit", 0.0) > 0.0
+        assert session.metrics.stage_seconds.get("score", 0.0) > 0.0
+
     # Timing is advisory: only asserted when the cold run was slow enough
     # for the comparison to be meaningful.
     if cold_seconds < 1.0:

@@ -49,6 +49,7 @@ class EqualFrequencyDiscretizer:
         self.random_state = random_state
         self.out_of_range_bucket = out_of_range_bucket
         self.edges_: list[np.ndarray] | None = None
+        self._lookup_: tuple[np.ndarray, np.ndarray] | None = None
 
     # ------------------------------------------------------------------
     def fit(self, X: np.ndarray) -> "EqualFrequencyDiscretizer":
@@ -92,10 +93,42 @@ class EqualFrequencyDiscretizer:
                     if top > edges[-1]:
                         edges = np.append(edges, top)
             self.edges_.append(edges)
+        self._lookup_ = None
         return self
 
+    def _build_lookup(self) -> tuple[np.ndarray, np.ndarray]:
+        """Rank table turning all per-column searches into ONE searchsorted.
+
+        Every column's edges are merged into one sorted array.  For a
+        value ``v`` of column ``j``, ``searchsorted(merged, v, "left")``
+        is the number of merged edges strictly below ``v`` — and because
+        the merge is sorted, those are exactly the first ``r`` merged
+        entries.  ``rank_counts[j, r]`` (how many of those first ``r``
+        edges belong to column ``j``) is therefore precisely
+        ``searchsorted(edges_[j], v, "left")``: the same comparisons
+        against the same floats, so codes are bit-identical to the
+        per-column loop (including NaN, which lands at rank 0 either way).
+        """
+        n_cols = len(self.edges_)
+        lengths = [len(e) for e in self.edges_]
+        merged = np.concatenate(self.edges_)
+        col_ids = np.repeat(np.arange(n_cols), lengths)
+        order = np.argsort(merged, kind="stable")
+        merged = merged[order]
+        rank_counts = np.zeros((n_cols, len(merged) + 1), dtype=np.int64)
+        rank_counts[:, 1:] = (
+            col_ids[order][None, :] == np.arange(n_cols)[:, None]
+        ).cumsum(axis=1)
+        self._lookup_ = (merged, rank_counts)
+        return self._lookup_
+
     def transform(self, X: np.ndarray) -> np.ndarray:
-        """Map values to bucket codes (0-based integers)."""
+        """Map values to bucket codes (0-based integers).
+
+        Bucket ``j`` holds values in ``(edges[j-1], edges[j]]``; values
+        above the last edge land in the top bucket.  All columns are
+        bucketized in one vectorized pass (see :meth:`_build_lookup`).
+        """
         if self.edges_ is None:
             raise RuntimeError("discretizer is not fitted")
         X = np.asarray(X, dtype=float)
@@ -104,12 +137,12 @@ class EqualFrequencyDiscretizer:
                 f"X has {X.shape[1] if X.ndim == 2 else '?'} columns, "
                 f"expected {len(self.edges_)}"
             )
-        codes = np.empty(X.shape, dtype=np.int64)
-        for j, edges in enumerate(self.edges_):
-            # Bucket j holds values in (edges[j-1], edges[j]]; values above
-            # the last edge land in the top bucket.
-            codes[:, j] = np.searchsorted(edges, X[:, j], side="left")
-        return codes
+        lookup = getattr(self, "_lookup_", None)
+        if lookup is None:
+            lookup = self._build_lookup()
+        merged, rank_counts = lookup
+        ranks = np.searchsorted(merged, X.ravel(), side="left").reshape(X.shape)
+        return rank_counts[np.arange(X.shape[1])[None, :], ranks]
 
     def fit_transform(self, X: np.ndarray) -> np.ndarray:
         """Fit on ``X`` and return its bucket codes."""

@@ -48,6 +48,102 @@ from repro.ml.decision_tree import C45Classifier
 ClassifierFactory = Callable[[], CategoricalClassifier]
 
 
+def _fast_fit_enabled() -> bool:
+    """Shared-pass ensemble training kill switch (``REPRO_FAST_FIT=0``)."""
+    return os.environ.get("REPRO_FAST_FIT", "1") != "0"
+
+
+def _keep_indices(n_features: int, targets: Sequence[int]) -> dict[int, np.ndarray]:
+    """Per-target column gathers replacing ``np.delete(codes, i, axis=1)``.
+
+    ``codes[:, keep[i]]`` produces the identical "all features but f_i"
+    matrix without rebuilding the deletion mask on every call — the same
+    gather is reused by every fit and every scoring pass.
+    """
+    base = np.arange(n_features)
+    return {
+        int(i): np.concatenate((base[:i], base[i + 1:])) for i in targets
+    }
+
+
+def _pairwise_tables(
+    codes: np.ndarray,
+    n_values: np.ndarray,
+    pairs: Sequence[tuple[int, int]],
+    max_chunk_elems: int = 8_000_000,
+) -> dict[tuple[int, int], np.ndarray]:
+    """Joint (value, value) contingency tables for column pairs.
+
+    One fused ``bincount`` pass: each pair's ``k_a x k_b`` joint code is
+    offset into its own block and the whole batch is counted at once
+    (chunked over pairs so the flattened index matrix stays below
+    ``max_chunk_elems``).  The counts are exactly what a per-pair
+    ``bincount(codes[:, a] * k_b + codes[:, b])`` would produce.
+    """
+    n = len(codes)
+    tables: dict[tuple[int, int], np.ndarray] = {}
+    if not pairs or n == 0:
+        return tables
+    a_idx = np.fromiter((a for a, _ in pairs), dtype=np.int64, count=len(pairs))
+    b_idx = np.fromiter((b for _, b in pairs), dtype=np.int64, count=len(pairs))
+    sizes = n_values[a_idx] * n_values[b_idx]
+    per_chunk = max(1, max_chunk_elems // n)
+    for start in range(0, len(pairs), per_chunk):
+        stop = min(start + per_chunk, len(pairs))
+        aa, bb = a_idx[start:stop], b_idx[start:stop]
+        sz = sizes[start:stop]
+        offsets = np.concatenate(([0], np.cumsum(sz)[:-1])).astype(np.int64)
+        flat = codes[:, aa] * n_values[bb][None, :] + codes[:, bb] + offsets[None, :]
+        counts = np.bincount(flat.ravel(), minlength=int(sz.sum()))
+        for p in range(stop - start):
+            a, b = int(aa[p]), int(bb[p])
+            tables[(a, b)] = counts[offsets[p]: offsets[p] + sz[p]].reshape(
+                int(n_values[a]), int(n_values[b])
+            )
+    return tables
+
+
+class _SharedFitContext:
+    """Shared-pass precomputation for Algorithm 1's L sub-model fits.
+
+    Discretized codes are scanned ONCE: the pairwise attribute<->target
+    contingency tensor (every ``(f_j, f_i)`` joint table a root split
+    search needs) comes out of one chunked ``bincount`` pass, and each
+    sub-model receives its root-level tables plus a precomputed
+    keep-index gather instead of paying its own full-data histogram and
+    ``np.delete`` copy.  Only the upper triangle is counted — the
+    ``(i, j)`` table is the transpose of ``(j, i)``.  All tables are
+    integer counts, so the handed-off root statistics are exactly those
+    a standalone fit would compute.
+    """
+
+    def __init__(self, codes: np.ndarray, targets: Sequence[int]):
+        self.codes = codes
+        n_features = codes.shape[1]
+        self.n_values = (
+            codes.max(axis=0) + 1 if len(codes) else np.ones(n_features, dtype=np.int64)
+        )
+        self.keep = _keep_indices(n_features, targets)
+        wanted = {
+            (min(i, j), max(i, j))
+            for i in targets
+            for j in range(n_features)
+            if j != i
+        }
+        self.tables = _pairwise_tables(codes, self.n_values, sorted(wanted))
+
+    def others(self, i: int) -> np.ndarray:
+        """The "all features but f_i" attribute matrix (gather, not delete)."""
+        return self.codes[:, self.keep[i]]
+
+    def root_tables(self, i: int) -> list[np.ndarray]:
+        """Root-level (attribute value, target class) tables for sub-model i."""
+        return [
+            self.tables[(j, i)] if j < i else self.tables[(i, j)].T
+            for j in map(int, self.keep[i])
+        ]
+
+
 class CrossFeatureModel:
     """The trained ensemble of per-feature sub-models.
 
@@ -98,6 +194,7 @@ class CrossFeatureModel:
         self.targets_: list[int] = []
         self.feature_names_: list[str] | None = None
         self.baseline_: np.ndarray | None = None  #: per-sub-model normal p_true
+        self._keep_cols: dict[int, np.ndarray] | None = None  #: target -> column gather
 
     # ------------------------------------------------------------------
     # Algorithm 1: training procedure
@@ -128,10 +225,25 @@ class CrossFeatureModel:
             rng = np.random.default_rng(self.random_state)
             targets = sorted(rng.choice(n_features, size=self.max_models, replace=False))
 
+        # Shared-pass training: when every sub-model can consume
+        # precomputed root tables (C4.5 and NBC can), discretized codes
+        # are scanned once — the pairwise contingency tensor plus
+        # keep-index gathers replace L per-sub-model histogram passes
+        # and np.delete copies.  Handed-off statistics are integer
+        # counts, so the fitted sub-models are identical either way;
+        # REPRO_FAST_FIT=0 forces the reference per-sub-model loop.
+        shared = (
+            _fast_fit_enabled()
+            and getattr(self.classifier_factory(), "accepts_root_tables", False)
+        )
+        ctx = _SharedFitContext(codes, targets) if shared else None
+
         def fit_one(i: int) -> CategoricalClassifier:
-            others = np.delete(codes, i, axis=1)
             model = self.classifier_factory()
-            model.fit(others, codes[:, i])
+            if ctx is not None:
+                model.fit(ctx.others(i), codes[:, i], root_tables=ctx.root_tables(i))
+            else:
+                model.fit(np.delete(codes, i, axis=1), codes[:, i])
             return model
 
         # Sub-model fits share nothing (fresh classifier per target, no
@@ -144,6 +256,9 @@ class CrossFeatureModel:
         else:
             self.models_ = [fit_one(i) for i in targets]
         self.targets_ = [int(i) for i in targets]
+        self._keep_cols = ctx.keep if ctx is not None else _keep_indices(
+            codes.shape[1], self.targets_
+        )
         return self
 
     def _effective_jobs(self, n_tasks: int) -> int:
@@ -152,6 +267,14 @@ class CrossFeatureModel:
         if jobs is None or jobs <= 0:
             jobs = os.cpu_count() or 1
         return max(1, min(jobs, n_tasks))
+
+    def _keep_columns(self, n_features: int) -> dict[int, np.ndarray]:
+        """Per-target keep-index gathers (rebuilt lazily, e.g. after unpickling)."""
+        keep = self._keep_cols if hasattr(self, "_keep_cols") else None
+        if keep is None or any(len(v) != n_features - 1 for v in keep.values()):
+            keep = _keep_indices(n_features, self.targets_)
+            self._keep_cols = keep
+        return keep
 
     # ------------------------------------------------------------------
     # Algorithms 2 & 3: test procedures
@@ -168,19 +291,21 @@ class CrossFeatureModel:
         matches = np.zeros((n, len(self.models_)))
         p_true = np.zeros((n, len(self.models_)))
         rows = np.arange(n)
+        keep = self._keep_columns(codes.shape[1])
 
         def score_one(m: int) -> None:
             model, i = self.models_[m], self.targets_[m]
-            others = np.delete(codes, i, axis=1)
+            others = codes[:, keep[i]]
             true = codes[:, i]
             proba = model.predict_proba(others)
             predicted = np.argmax(proba, axis=1)
             matches[:, m] = predicted == true
-            # A bucket the sub-model never saw in normal training data has
-            # probability zero by definition.
+            # A bucket the sub-model never saw in normal training data
+            # has probability zero by definition: rows start zeroed, and
+            # out-of-range buckets can never equal a predicted class, so
+            # only in-range rows need a probability written.
             in_range = true < proba.shape[1]
             p_true[in_range, m] = proba[rows[in_range], true[in_range]]
-            matches[~in_range, m] = 0.0
 
         # Each sub-model writes only its own column, so the passes are
         # independent and thread-safe; results match the serial loop.
@@ -265,7 +390,9 @@ class CrossFeatureModel:
             )
         else:
             calibrated = p_true
-        order = np.argsort(calibrated)[:top_k]
+        # Stable sort so tied sub-models rank in ensemble order instead
+        # of the introsort's arbitrary (input-layout-dependent) order.
+        order = np.argsort(calibrated, kind="stable")[:top_k]
         entries = []
         for m in order:
             target = self.targets_[m]

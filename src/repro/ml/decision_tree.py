@@ -17,6 +17,7 @@ node's own class distribution (the C4.5 "most likely subtree" fallback).
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -117,6 +118,22 @@ def _entropy(counts: np.ndarray) -> float:
     return float(-(p * np.log2(p)).sum())
 
 
+def trees_equal(a: _TreeNode | None, b: _TreeNode | None) -> bool:
+    """Structural equality of two fitted trees.
+
+    Equal means: same split attribute at every node, same per-node class
+    counts, same child values — which together imply identical
+    ``predict_proba`` output for any input.
+    """
+    if a is None or b is None:
+        return a is b
+    if a.attr != b.attr or not np.array_equal(a.counts, b.counts):
+        return False
+    if a.children.keys() != b.children.keys():
+        return False
+    return all(trees_equal(child, b.children[v]) for v, child in a.children.items())
+
+
 class C45Classifier(CategoricalClassifier):
     """Gain-ratio decision tree with pessimistic pruning.
 
@@ -150,19 +167,193 @@ class C45Classifier(CategoricalClassifier):
         self.cf = cf
         self.root_: _TreeNode | None = None
 
+    #: The ensemble trainer may hand this classifier precomputed
+    #: root-level contingency tables (``fit(..., root_tables=...)``).
+    accepts_root_tables = True
+
     # ------------------------------------------------------------------
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "C45Classifier":
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        root_tables: "list[np.ndarray] | None" = None,
+    ) -> "C45Classifier":
+        """Grow (and optionally prune) the tree.
+
+        ``root_tables`` — one ``(n_values_[a], n_classes_)`` integer
+        contingency table per attribute, counting (attribute value,
+        class) pairs over the full training set — lets the root split
+        search skip its histogram pass.  The ensemble trainer computes
+        these once for all L sub-models (see
+        :class:`repro.core.model.CrossFeatureModel`); the fitted tree is
+        identical with or without them.
+        """
         X, y = self._setup_fit(X, y)
         self._z = _z_value(self.cf)
-        self.root_ = self._grow(X, y, np.arange(len(y)), depth=0)
+        if self._fast_fit_usable():
+            self.root_ = self._grow(X, y, np.arange(len(y)), depth=0,
+                                    root_tables=root_tables)
+        else:
+            self.root_ = self._grow_reference(X, y, np.arange(len(y)), depth=0)
         if self.prune:
             self._prune_node(self.root_)
         return self
 
+    def _fit_reference(self, X: np.ndarray, y: np.ndarray) -> "C45Classifier":
+        """Reference fit (pre-vectorization growth path).
+
+        Kept callable so the identity tests and the ``fit/`` benchmark
+        suite can grow a guaranteed-reference tree to compare against.
+        """
+        X, y = self._setup_fit(X, y)
+        self._z = _z_value(self.cf)
+        self.root_ = self._grow_reference(X, y, np.arange(len(y)), depth=0)
+        if self.prune:
+            self._prune_node(self.root_)
+        return self
+
+    def _fast_fit_usable(self) -> bool:
+        """Whether the vectorized split search is exact for this data.
+
+        The vectorized path computes every entropy / split-info sum
+        *sequentially* (via ``cumsum`` over zero-padded rows; exact zeros
+        are additive identities).  The reference path uses ``np.sum``
+        over compacted positive entries, which numpy evaluates
+        sequentially only below 8 elements — beyond that it switches to
+        pairwise summation with a different rounding order.  All sums in
+        the reference run over at most ``n_classes_`` (row entropy) or
+        ``max(n_values_)`` (split info / conditional entropy) terms, so
+        bit-identity is guaranteed whenever both stay below 8 — always
+        true for the paper's 5-bucket discretization (6 values with the
+        out-of-range bucket).  Larger cardinalities fall back to the
+        reference implementation, and ``REPRO_FAST_FIT=0`` forces it.
+        """
+        if os.environ.get("REPRO_FAST_FIT", "1") == "0":
+            return False
+        if self.n_classes_ >= 8:
+            return False
+        return len(self.n_values_) == 0 or int(self.n_values_.max()) < 8
+
     def _class_counts(self, y_subset: np.ndarray) -> np.ndarray:
         return np.bincount(y_subset, minlength=self.n_classes_)
 
-    def _grow(self, X: np.ndarray, y: np.ndarray, idx: np.ndarray, depth: int) -> _TreeNode:
+    def _grow(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        idx: np.ndarray,
+        depth: int,
+        root_tables: "list[np.ndarray] | None" = None,
+    ) -> _TreeNode:
+        """Vectorized node growth — bit-identical to :meth:`_grow_reference`.
+
+        Per node, ONE fused ``bincount`` builds the contingency
+        histograms of every attribute at once (a ``(L, k_max, C)``
+        tensor), entropies are computed row-wise over the whole tensor,
+        and children are partitioned with a single stable argsort instead
+        of one boolean scan per value.  Every floating-point reduction
+        mirrors the reference's operation order exactly (see
+        :meth:`_fast_fit_usable`), so split decisions — and therefore the
+        tree — are identical to the last bit.
+        """
+        y_sub = y[idx]
+        counts = self._class_counts(y_sub)
+        node = _TreeNode(counts=counts)
+        if (
+            len(idx) < self.min_samples_split
+            or (counts > 0).sum() <= 1
+            or (self.max_depth is not None and depth >= self.max_depth)
+        ):
+            return node
+
+        C = self.n_classes_
+        L = X.shape[1]
+        kmax = int(self.n_values_.max()) if L else 0
+        if L == 0 or kmax <= 1:
+            return node
+        n = float(len(idx))
+        X_sub = X[idx]
+
+        if root_tables is not None:
+            if len(root_tables) != L:
+                raise ValueError(
+                    f"root_tables has {len(root_tables)} tables, expected {L}"
+                )
+            hist = np.zeros((L, kmax, C), dtype=np.int64)
+            for a, table in enumerate(root_tables):
+                hist[a, : table.shape[0], :] = table
+        else:
+            # One histogram pass: offset each attribute's (value, class)
+            # pair into its own k_max*C block and bincount the lot.
+            offsets = np.arange(L, dtype=np.int64) * (kmax * C)
+            flat = X_sub * C + y_sub[:, None] + offsets[None, :]
+            hist = np.bincount(flat.ravel(), minlength=L * kmax * C)
+            hist = hist.reshape(L, kmax, C)
+
+        value_totals = hist.sum(axis=2)                       # (L, kmax)
+        present = value_totals > 0
+        n_present = present.sum(axis=1)                       # (L,)
+
+        # Row-wise entropy of every value row.  Padded / absent rows are
+        # all-zero and contribute exact zeros; cumsum keeps the
+        # summation sequential, matching the reference's np.sum over
+        # compacted entries (< 8 terms, see _fast_fit_usable).
+        vt_safe = np.where(present, value_totals, 1)
+        p = hist / vt_safe[:, :, None]
+        pos = p > 0
+        logp = np.zeros_like(p)
+        np.log2(p, where=pos, out=logp)
+        row_ent = -(p * logp).cumsum(axis=2)[:, :, -1]        # (L, kmax)
+
+        # Conditional entropy: the reference accumulates
+        # (value_total / n) * entropy(row) left to right over present
+        # values; cumsum over the zero-padded terms reproduces that.
+        weights = value_totals / n
+        cond_terms = np.where(present, weights * row_ent, 0.0)
+        cond = cond_terms.cumsum(axis=1)[:, -1]               # (L,)
+
+        base_entropy = _entropy(counts)
+        gain = base_entropy - cond                            # (L,)
+
+        # Split info over the same weights (only present values enter).
+        logw = np.zeros_like(weights)
+        np.log2(weights, where=weights > 0, out=logw)
+        split_info = -(weights * logw).cumsum(axis=1)[:, -1]  # (L,)
+
+        valid = (self.n_values_ > 1) & (n_present > 1) & (split_info > 0)
+        if not valid.any():
+            return node
+        attrs = np.flatnonzero(valid)
+        gains_v = gain[valid]
+        # Quinlan's guard: only attributes with at least average gain
+        # compete on gain ratio (sequential mean, like the reference).
+        mean_gain = gains_v.cumsum()[-1] / len(gains_v)
+        ratios = gains_v / split_info[valid]
+        eligible = gains_v >= mean_gain - 1e-12
+        best_pos = int(np.argmax(np.where(eligible, ratios, -np.inf)))
+        best_attr = int(attrs[best_pos])
+        if gains_v[best_pos] <= 1e-12:
+            return node
+
+        # Partition children with one stable argsort: groups come out in
+        # ascending value order with original row order inside each
+        # group — exactly np.unique + per-value boolean masks.
+        node.attr = best_attr
+        col = X_sub[:, best_attr]
+        order = np.argsort(col, kind="stable")
+        sorted_idx = idx[order]
+        sorted_col = col[order]
+        boundaries = np.flatnonzero(sorted_col[1:] != sorted_col[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(sorted_col)]))
+        for s, e in zip(starts, ends):
+            node.children[int(sorted_col[s])] = self._grow(
+                X, y, sorted_idx[s:e], depth + 1
+            )
+        return node
+
+    def _grow_reference(self, X: np.ndarray, y: np.ndarray, idx: np.ndarray, depth: int) -> _TreeNode:
+        """Reference per-bucket growth (pre-vectorization behaviour)."""
         y_sub = y[idx]
         counts = self._class_counts(y_sub)
         node = _TreeNode(counts=counts)
@@ -212,7 +403,7 @@ class C45Classifier(CategoricalClassifier):
         col = X[idx, best_attr]
         for value in np.unique(col):
             child_idx = idx[col == value]
-            node.children[int(value)] = self._grow(X, y, child_idx, depth + 1)
+            node.children[int(value)] = self._grow_reference(X, y, child_idx, depth + 1)
         return node
 
     # ------------------------------------------------------------------

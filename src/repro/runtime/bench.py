@@ -13,7 +13,13 @@ by ``python -m repro bench``):
   it.
 * :func:`run_model_bench` — the model layer.  Times C4.5 sub-model
   scoring through the batched tree walk against the per-row reference
-  walk, and sub-model training serial against threaded (``n_jobs``).
+  walk, and ensemble training through the shared-pass vectorized fit
+  (pairwise contingency tensor + vectorized split search) against the
+  reference per-sub-model loop (``REPRO_FAST_FIT=0``), asserting the
+  fitted trees are structurally identical while timing.  (Thread-based
+  ``fit/n_jobs`` legs were dropped: the sub-model fits are pure-Python
+  tree growth, so threads are GIL-bound and buy nothing — the shared
+  pass is the fix.)
 
 Every entry records ``baseline_seconds`` (the pre-optimization path,
 which is kept in-tree as the reference implementation), ``optimized_seconds``
@@ -73,6 +79,20 @@ def _spatial_index(enabled: bool) -> Iterator[None]:
             del os.environ["REPRO_SPATIAL_INDEX"]
         else:
             os.environ["REPRO_SPATIAL_INDEX"] = prior
+
+
+@contextmanager
+def _fast_fit(enabled: bool) -> Iterator[None]:
+    """Force the model layer's fast-fit default for the enclosed block."""
+    prior = os.environ.get("REPRO_FAST_FIT")
+    os.environ["REPRO_FAST_FIT"] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if prior is None:
+            del os.environ["REPRO_FAST_FIT"]
+        else:
+            os.environ["REPRO_FAST_FIT"] = prior
 
 
 def write_bench(payload: dict, path: str | os.PathLike) -> None:
@@ -256,33 +276,44 @@ def _rowwise_outputs(model, X: np.ndarray) -> np.ndarray:
     return p_true
 
 
+def _assert_ensemble_identical(reference, optimized, X_probe: np.ndarray) -> None:
+    """In-harness tree-identity contract for the fit benchmark.
+
+    The shared-pass ensemble must produce *structurally identical* trees
+    (same splits, same per-node counts — which implies bit-identical
+    ``predict_proba``) and identical sub-model outputs on a probe matrix.
+    """
+    from repro.ml.decision_tree import C45Classifier, trees_equal
+
+    if reference.targets_ != optimized.targets_:
+        raise AssertionError("shared-pass fit changed the sub-model targets")
+    for m, (ref, fast) in enumerate(zip(reference.models_, optimized.models_)):
+        if isinstance(ref, C45Classifier) and not trees_equal(ref.root_, fast.root_):
+            raise AssertionError(
+                f"sub-model {m}: shared-pass tree diverged from the reference"
+            )
+    _, p_ref = reference._sub_model_outputs(X_probe)
+    _, p_new = optimized._sub_model_outputs(X_probe)
+    if not np.array_equal(p_ref, p_new):
+        raise AssertionError("shared-pass fit changed sub-model probabilities")
+
+
 def run_model_bench(quick: bool = False, seed: int = 0) -> dict:
-    """Model suite: batched scoring vs rowwise; threaded vs serial fit."""
+    """Model suite: batched scoring vs rowwise; shared-pass vs reference fit."""
     from repro.core.model import CrossFeatureModel
 
     if quick:
         n_train, n_score, n_features, repeats = 800, 4_000, 10, 2
+        n_fit, fit_features, fit_repeats = 200, 36, 1
     else:
         n_train, n_score, n_features, repeats = 2_000, 20_000, 16, 3
+        n_fit, fit_features, fit_repeats = 500, 140, 2
 
     X_train = _synthetic_features(n_train, n_features, seed)
     X_score = _synthetic_features(n_score, n_features, seed + 1)
 
-    # --- fit: serial vs threaded -------------------------------------
-    def fit_with(jobs: int) -> tuple[float, CrossFeatureModel]:
-        best = float("inf")
-        model = None
-        for _ in range(repeats):
-            candidate = CrossFeatureModel(n_jobs=jobs)
-            t0 = time.perf_counter()
-            candidate.fit(X_train)
-            best = min(best, time.perf_counter() - t0)
-            model = candidate
-        return best, model
-
-    serial_fit_s, model = fit_with(1)
-    jobs = os.cpu_count() or 1
-    threaded_fit_s, _ = fit_with(jobs)
+    model = CrossFeatureModel()
+    model.fit(X_train)
 
     # --- score: rowwise reference vs batched tree walk ---------------
     rowwise_s = float("inf")
@@ -298,6 +329,26 @@ def run_model_bench(quick: bool = False, seed: int = 0) -> dict:
     if not np.array_equal(p_ref, p_new):
         raise AssertionError("batched scoring diverged from the rowwise reference")
 
+    # --- fit: shared-pass vectorized ensemble vs reference loop ------
+    # Paper scale: L ~ 140 features, one C4.5 sub-model per feature.
+    X_fit = _synthetic_features(n_fit, fit_features, seed + 2)
+    X_fit_probe = _synthetic_features(256, fit_features, seed + 3)
+
+    def fit_ensemble(fast: bool) -> tuple[float, CrossFeatureModel]:
+        best, fitted = float("inf"), None
+        for _ in range(fit_repeats):
+            candidate = CrossFeatureModel()
+            with _fast_fit(fast):
+                t0 = time.perf_counter()
+                candidate.fit(X_fit)
+                best = min(best, time.perf_counter() - t0)
+            fitted = candidate
+        return best, fitted
+
+    reference_fit_s, reference_model = fit_ensemble(False)
+    shared_fit_s, shared_model = fit_ensemble(True)
+    _assert_ensemble_identical(reference_model, shared_model, X_fit_probe)
+
     entries = [
         _entry(
             "score/c45-batched-vs-rowwise",
@@ -309,13 +360,14 @@ def run_model_bench(quick: bool = False, seed: int = 0) -> dict:
             n_sub_models=model.n_models,
         ),
         _entry(
-            f"fit/n_jobs-{jobs}-vs-serial",
-            serial_fit_s,
-            threaded_fit_s,
+            "fit/ensemble",
+            reference_fit_s,
+            shared_fit_s,
             kind="training",
-            n_events=n_train,
-            n_features=n_features,
-            n_jobs=jobs,
+            n_events=n_fit,
+            n_features=fit_features,
+            n_sub_models=shared_model.n_models,
+            identity="trees structurally identical to the reference fit",
         ),
     ]
     return {

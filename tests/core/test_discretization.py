@@ -85,3 +85,73 @@ class TestTransform:
         X = rng.exponential(size=(200, 3))
         disc = EqualFrequencyDiscretizer().fit(X)
         np.testing.assert_array_equal(disc.transform(X), disc.transform(X))
+
+
+def _per_column_reference(disc, X):
+    """The pre-vectorization transform: one searchsorted per column."""
+    X = np.asarray(X, dtype=float)
+    codes = np.empty(X.shape, dtype=np.int64)
+    for j, edges in enumerate(disc.edges_):
+        codes[:, j] = np.searchsorted(edges, X[:, j], side="left")
+    return codes
+
+
+class TestTransformIdentity:
+    """The single merged-searchsorted transform must be bit-identical to
+    the per-column loop — same comparisons against the same floats."""
+
+    def test_matches_per_column_searchsorted(self):
+        rng = np.random.default_rng(5)
+        X_fit = rng.exponential(size=(300, 4))
+        X_fit[:, 2] = 7.0  # constant column
+        disc = EqualFrequencyDiscretizer().fit(X_fit)
+        X = rng.exponential(size=(500, 4)) * 3 - 1
+        np.testing.assert_array_equal(disc.transform(X), _per_column_reference(disc, X))
+
+    def test_matches_on_edge_values_nan_and_inf(self):
+        X_fit = np.linspace(0, 10, 100).reshape(-1, 1).repeat(2, axis=1)
+        disc = EqualFrequencyDiscretizer().fit(X_fit)
+        edge = disc.edges_[0][0]
+        X = np.array([
+            [edge, edge],
+            [np.nextafter(edge, -np.inf), np.nextafter(edge, np.inf)],
+            [np.nan, np.nan],
+            [np.inf, -np.inf],
+        ])
+        np.testing.assert_array_equal(disc.transform(X), _per_column_reference(disc, X))
+
+    def test_randomized_trials(self):
+        rng = np.random.default_rng(6)
+        for _ in range(50):
+            n = int(rng.integers(5, 120))
+            d = int(rng.integers(1, 6))
+            X_fit = rng.normal(size=(n, d)) * rng.uniform(0.1, 100)
+            if rng.random() < 0.3:
+                X_fit[:, int(rng.integers(0, d))] = rng.normal()
+            disc = EqualFrequencyDiscretizer(
+                n_buckets=int(rng.integers(2, 8))
+            ).fit(X_fit)
+            X = rng.normal(size=(int(rng.integers(1, 200)), d)) * 50
+            np.testing.assert_array_equal(
+                disc.transform(X), _per_column_reference(disc, X)
+            )
+
+    def test_lookup_rebuilt_after_refit(self):
+        disc = EqualFrequencyDiscretizer().fit(np.linspace(0, 1, 50).reshape(-1, 1))
+        disc.transform(np.array([[0.5]]))  # builds the lookup
+        disc.fit(np.linspace(0, 100, 50).reshape(-1, 1))
+        np.testing.assert_array_equal(
+            disc.transform(np.array([[50.0]])),
+            _per_column_reference(disc, np.array([[50.0]])),
+        )
+
+    def test_unpickled_without_lookup_still_transforms(self):
+        import pickle
+
+        disc = EqualFrequencyDiscretizer().fit(np.linspace(0, 1, 50).reshape(-1, 1))
+        clone = pickle.loads(pickle.dumps(disc))
+        del clone._lookup_  # simulate a pickle from before the fast path
+        np.testing.assert_array_equal(
+            clone.transform(np.array([[0.5]])),
+            _per_column_reference(disc, np.array([[0.5]])),
+        )

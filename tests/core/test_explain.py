@@ -68,3 +68,16 @@ class TestExplain:
         model.fit(correlated_normal())
         entries = model.explain(np.array([5.0, 10.0, 11.0, 0.5]), top_k=1)
         assert isinstance(entries[0]["feature"], int)
+
+    def test_tied_sub_models_rank_in_ensemble_order(self):
+        """Ties in the ranking key must resolve to ensemble order (stable
+        sort), not the introsort's input-layout-dependent order."""
+        model = CrossFeatureModel()
+        # Constant columns: every sub-model is a trivial single-leaf tree
+        # and every calibrated/p_true value ties exactly.
+        X = np.tile([1.0, 2.0, 3.0, 4.0, 5.0], (60, 1))
+        model.fit(X, feature_names=list("abcde"))
+        entries = model.explain(np.array([1.0, 2.0, 3.0, 4.0, 5.0]))
+        cals = [e["calibrated"] for e in entries]
+        assert len(set(cals)) == 1  # genuinely tied
+        assert [e["feature"] for e in entries] == list("abcde")

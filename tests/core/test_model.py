@@ -73,6 +73,69 @@ class TestTraining:
             CrossFeatureModel().normality_score(np.zeros((1, 5)))
 
 
+class TestSharedPassTraining:
+    """The shared-pass ensemble fit (one discretization scan, pairwise
+    contingency tensor, keep-index gathers) must train sub-models
+    identical to the reference per-sub-model loop (REPRO_FAST_FIT=0)."""
+
+    @staticmethod
+    def _reference_model(monkeypatch, **kwargs):
+        monkeypatch.setenv("REPRO_FAST_FIT", "0")
+        model = CrossFeatureModel(**kwargs)
+        model.fit(correlated_normal())
+        monkeypatch.delenv("REPRO_FAST_FIT")
+        return model
+
+    @pytest.mark.parametrize("name", sorted(CLASSIFIERS))
+    def test_sub_model_outputs_identical(self, monkeypatch, name):
+        factory = CLASSIFIERS[name]
+        ref = self._reference_model(monkeypatch, classifier_factory=factory)
+        shared = CrossFeatureModel(classifier_factory=factory)
+        shared.fit(correlated_normal())
+        X = np.vstack([correlated_normal(seed=21), broken_correlation(seed=22)])
+        m_ref, p_ref = ref._sub_model_outputs(X)
+        m_new, p_new = shared._sub_model_outputs(X)
+        np.testing.assert_array_equal(m_ref, m_new)
+        np.testing.assert_array_equal(p_ref, p_new)
+
+    def test_c45_trees_structurally_identical(self, monkeypatch):
+        from repro.ml.decision_tree import trees_equal
+
+        ref = self._reference_model(monkeypatch)
+        shared = CrossFeatureModel()
+        shared.fit(correlated_normal())
+        assert shared.targets_ == ref.targets_
+        for a, b in zip(shared.models_, ref.models_):
+            assert trees_equal(a.root_, b.root_)
+
+    def test_max_models_subset_identical(self, monkeypatch):
+        ref = self._reference_model(monkeypatch, max_models=3)
+        shared = CrossFeatureModel(max_models=3)
+        shared.fit(correlated_normal())
+        assert shared.targets_ == ref.targets_
+        X = correlated_normal(seed=23)
+        _, p_ref = ref._sub_model_outputs(X)
+        _, p_new = shared._sub_model_outputs(X)
+        np.testing.assert_array_equal(p_ref, p_new)
+
+    def test_classifier_without_root_tables_still_fits(self):
+        # RIPPER does not accept root tables; the ensemble must fall
+        # back to the per-sub-model path transparently.
+        model = CrossFeatureModel(classifier_factory=CLASSIFIERS["ripper"])
+        model.fit(correlated_normal(n=120))
+        assert model.n_models == 5
+
+    def test_unpickled_model_scores_identically(self, fitted_model):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(fitted_model))
+        clone._keep_cols = None  # simulate a pickle from before the gathers
+        X = correlated_normal(seed=25)[:40]
+        np.testing.assert_array_equal(
+            clone.normality_score(X), fitted_model.normality_score(X)
+        )
+
+
 class TestScoring:
     def test_normal_scores_above_anomaly_scores(self, fitted_model):
         normal = fitted_model.normality_score(correlated_normal(seed=3))

@@ -56,7 +56,8 @@ class TestStageMetrics:
 
 class TestModelBenchQuick:
     def test_quick_model_bench_runs_and_verifies(self):
-        """The quick model suite asserts scoring equivalence internally."""
+        """The quick model suite asserts scoring *and* fit equivalence
+        internally (batched-vs-rowwise probabilities, tree identity)."""
         from repro.runtime.bench import run_model_bench
 
         payload = run_model_bench(quick=True)
@@ -64,3 +65,8 @@ class TestModelBenchQuick:
         assert kinds == {"scoring", "training"}
         for e in payload["entries"]:
             assert e["optimized_seconds"] > 0
+        names = {e["name"] for e in payload["entries"]}
+        assert "fit/ensemble" in names
+        fit_entry = next(e for e in payload["entries"] if e["name"] == "fit/ensemble")
+        # The identity assert ran in-harness; the entry records the contract.
+        assert "identical" in fit_entry["identity"]
