@@ -36,11 +36,8 @@ from repro.eval.experiments import (
     DetectionResult,
     ExperimentPlan,
     TraceBundle,
-    cached_bundle,
-    cached_result,
     four_scenarios,
     run_detection_experiment,
-    simulate_bundle,
 )
 from repro.features import FeatureDataset, extract_features
 from repro.ml import CLASSIFIERS, C45Classifier, NaiveBayesClassifier, RipperClassifier
@@ -48,6 +45,10 @@ from repro.runtime import ArtifactCache, RuntimeMetrics, Session, TraceEvent, de
 from repro.simulation import ScenarioConfig, SimulationTrace, run_scenario
 from repro.stream import (
     Alarm,
+    FleetAlarm,
+    FleetDetector,
+    FleetResult,
+    FleetStream,
     OnlineDetector,
     StreamingExtractor,
     StreamResult,
@@ -58,15 +59,19 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Alarm",
-    "CLASSIFIERS",
     "ArtifactCache",
     "C45Classifier",
+    "CLASSIFIERS",
     "CrossFeatureDetector",
     "CrossFeatureModel",
     "DetectionResult",
     "EqualFrequencyDiscretizer",
     "ExperimentPlan",
     "FeatureDataset",
+    "FleetAlarm",
+    "FleetDetector",
+    "FleetResult",
+    "FleetStream",
     "NaiveBayesClassifier",
     "OnlineDetector",
     "RegressionCrossFeatureModel",
@@ -82,8 +87,6 @@ __all__ = [
     "TwoNodeExample",
     "average_match_count",
     "average_probability",
-    "cached_bundle",
-    "cached_result",
     "default_session",
     "extract_features",
     "four_scenarios",
@@ -91,5 +94,4 @@ __all__ = [
     "run_detection_experiment",
     "run_scenario",
     "select_threshold",
-    "simulate_bundle",
 ]

@@ -12,6 +12,10 @@ Usage examples::
     # Online detection: train offline, stream a live attack scenario
     python -m repro stream --protocol aodv --transport udp --duration 1000
 
+    # Fleet detection: every non-attacker node monitored at once, all
+    # windows closing on a tick scored in one batch, alarms fused k-of-n
+    python -m repro fleet --protocol aodv --transport udp --quorum 2
+
     # The paper's §3 illustrative example (Tables 1-3)
     python -m repro illustrate
 
@@ -85,6 +89,8 @@ def _progress_printer(event) -> None:
         print(f"  [timeout] {event.label}  (limit {event.seconds:.0f}s)")
     elif event.kind == "alarm":
         print(f"  [ALARM]  {event.label}")
+    elif event.kind == "fused_alarm":
+        print(f"  [FUSED]  {event.label}")
     elif event.kind in ("fallback", "respawn", "task_failed", "pool_failed",
                         "cache_write_failed", "cache_off"):
         print(f"  [runtime] {event.label}")
@@ -232,6 +238,57 @@ def cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Train offline, then stream every monitored node through one fleet."""
+    from repro.eval.experiments import ExperimentPlan
+
+    plan = ExperimentPlan(
+        protocol=args.protocol,
+        transport=args.transport,
+        n_nodes=args.nodes,
+        duration=args.duration,
+        max_connections=args.connections,
+        attack_kind=args.attack,
+    )
+    if args.monitors is None:
+        monitors = None
+        n_monitors = plan.n_nodes - 1
+    else:
+        if args.monitors < 1:
+            print("--monitors must be >= 1", file=sys.stderr)
+            return 2
+        monitors = [n for n in range(plan.n_nodes) if n != plan.attacker]
+        monitors = monitors[: args.monitors]
+        n_monitors = len(monitors)
+    quorum: int | float = (
+        float(args.quorum) if "." in args.quorum else int(args.quorum)
+    )
+    session = _build_session(args)
+    kind = "normal (no attack)" if args.normal else f"attack={args.attack}"
+    print(f"fleet detection: {args.protocol}/{args.transport}, {kind}, "
+          f"{n_monitors} monitored nodes, quorum={quorum}, "
+          f"classifier={args.classifier}, jobs={session.jobs}")
+    print("training detector on cached normal traces ...")
+    session.fitted_detector(plan, classifier=args.classifier, method=args.method)
+    print("streaming live scenario (fused alarms print as windows close) ...")
+    result = session.fleet_detect(
+        plan,
+        classifier=args.classifier,
+        method=args.method,
+        seeds=[args.stream_seed] if args.stream_seed is not None else None,
+        attack=not args.normal,
+        monitors=monitors,
+        quorum=quorum,
+    )
+    print(f"fleet                   : {result.summary()}")
+    print(f"calibrated threshold    : {result.threshold:.3f}  ({result.method})")
+    print(f"fused alarms            : {len(result.fused)} "
+          f"(quorum {result.quorum} over {result.n_streams} streams)")
+    print(f"runtime                 : {session.metrics.summary()}")
+    _dump_metrics(session, args)
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Run all three classifiers on one condition and print the report."""
     from repro.eval.experiments import ExperimentPlan
@@ -258,7 +315,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
     """Run the benchmark suites and write BENCH_*.json files."""
     import os
 
-    from repro.runtime.bench import run_model_bench, run_simulator_bench, write_bench
+    from repro.runtime.bench import (
+        run_fleet_bench,
+        run_model_bench,
+        run_simulator_bench,
+        write_bench,
+    )
 
     os.makedirs(args.out_dir, exist_ok=True)
     rc = 0
@@ -267,6 +329,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         suites.append(("simulator", run_simulator_bench))
     if args.suite in ("model", "all"):
         suites.append(("model", run_model_bench))
+    if args.suite in ("fleet", "all"):
+        suites.append(("fleet", run_fleet_bench))
     for name, runner in suites:
         print(f"benchmarking {name} ({'quick' if args.quick else 'full'}) ...")
         payload = runner(quick=args.quick)
@@ -343,6 +407,34 @@ def build_parser() -> argparse.ArgumentParser:
                             "with --normal)")
     p_str.set_defaults(func=cmd_stream)
 
+    p_flt = sub.add_parser(
+        "fleet", help="multiplexed online detection across every monitored node"
+    )
+    _add_scenario_args(p_flt)
+    _add_runtime_args(p_flt)
+    p_flt.add_argument("--classifier", choices=["c45", "ripper", "nbc"], default="c45")
+    p_flt.add_argument(
+        "--method",
+        choices=["match_count", "avg_probability", "calibrated_probability"],
+        default="calibrated_probability",
+    )
+    p_flt.add_argument("--attack", choices=["mixed", "blackhole", "dropping"],
+                       default="mixed")
+    p_flt.add_argument("--normal", action="store_true",
+                       help="stream an intrusion-free trace")
+    p_flt.add_argument("--stream-seed", type=int, default=None, metavar="SEED",
+                       help="mobility seed of the streamed trace (default: the "
+                            "plan's first attack seed, or first normal seed "
+                            "with --normal)")
+    p_flt.add_argument("--monitors", type=int, default=None, metavar="M",
+                       help="monitor only the first M non-attacker nodes "
+                            "(default: all of them)")
+    p_flt.add_argument("--quorum", default="1", metavar="K",
+                       help="fused-alarm vote: an integer is absolute k-of-n; "
+                            "a fraction in (0,1] is a share of the streams "
+                            "reporting on that tick (default: 1)")
+    p_flt.set_defaults(func=cmd_fleet)
+
     p_rep = sub.add_parser("report", help="compare all classifiers on one condition")
     _add_scenario_args(p_rep)
     _add_runtime_args(p_rep)
@@ -353,7 +445,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench", help="measure the kernel/model fast paths, write BENCH_*.json"
     )
-    p_bench.add_argument("--suite", choices=["simulator", "model", "all"], default="all")
+    p_bench.add_argument("--suite", choices=["simulator", "model", "fleet", "all"],
+                         default="all")
     p_bench.add_argument("--quick", action="store_true",
                          help="CI-scale workloads (seconds instead of minutes)")
     p_bench.add_argument("--out-dir", default=".", metavar="DIR",

@@ -18,7 +18,6 @@ from repro.eval.experiments import (
     ExperimentPlan,
     TraceBundle,
     run_detection_experiment,
-    simulate_bundle,
 )
 from repro.eval.metrics import (
     PrCurve,
@@ -39,5 +38,4 @@ __all__ = [
     "precision_recall_curve",
     "run_detection_experiment",
     "score_density",
-    "simulate_bundle",
 ]

@@ -15,15 +15,15 @@ pipeline then mirrors the paper's setup:
 
 Plans are frozen/hashable; simulation, caching and parallel execution
 live in :mod:`repro.runtime` — :class:`repro.runtime.Session` is the
-documented way to run this pipeline.  The module-level ``cached_bundle``
-/ ``cached_result`` / ``simulate_bundle`` helpers remain as deprecated
-thin wrappers over the process-wide default session.
+documented way to run this pipeline.  (The pre-Session module-level
+wrappers ``cached_bundle`` / ``cached_result`` / ``simulate_bundle``
+completed their deprecation cycle and were removed; importing them now
+raises :class:`ImportError` with the migration hint.)
 """
 
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
@@ -240,16 +240,6 @@ def extract_bundle(raw: RawTraces, monitor: int | None = None) -> TraceBundle:
     )
 
 
-def simulate_bundle(plan: ExperimentPlan) -> TraceBundle:
-    """Deprecated: use :meth:`repro.Session.bundle`.
-
-    Routes through the default session, so repeated calls now reuse the
-    persistent artifact cache instead of re-simulating.
-    """
-    _warn_deprecated("simulate_bundle", "session.bundle(plan)")
-    return _default_session().bundle(plan)
-
-
 @dataclass
 class DetectionResult:
     """Scored evaluation of one (plan, classifier, method) condition."""
@@ -346,9 +336,7 @@ def run_detection_experiment(
 
 
 # ----------------------------------------------------------------------
-# Legacy module-level pipeline helpers — thin wrappers over the default
-# repro.runtime.Session (which adds parallel execution + the persistent
-# artifact cache on top of the old in-process memoisation).
+# Pipeline helpers over the process-wide default Session.
 # ----------------------------------------------------------------------
 def _default_session():
     from repro.runtime.session import default_session
@@ -356,49 +344,32 @@ def _default_session():
     return default_session()
 
 
-def _warn_deprecated(name: str, replacement: str) -> None:
-    warnings.warn(
-        f"repro.eval.experiments.{name}() is deprecated; create a "
-        f"repro.Session and use {replacement} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
+#: The pre-Session wrappers, removed at the end of their deprecation
+#: cycle; importing one raises ImportError naming the Session replacement.
+_REMOVED_HELPERS = {
+    "simulate_bundle": "Session().bundle(plan)",
+    "cached_bundle": "Session().bundle(plan)",
+    "cached_result": "Session().detect(plan, ...)",
+}
+
+
+def __getattr__(name: str):
+    if name in _REMOVED_HELPERS:
+        raise ImportError(
+            f"repro.eval.experiments.{name}() was removed; create a "
+            f"repro.Session and use {_REMOVED_HELPERS[name]} instead"
+        )
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def cached_raw_traces(plan: ExperimentPlan) -> RawTraces:
     """Raw traces via the default session (shared across extraction knobs).
 
-    Kept as the non-deprecated low-level alias; plans differing only in
+    The non-deprecated low-level alias; plans differing only in
     periods/warmup/labels/monitor share simulations (see
     :func:`plan_sim_key`).
     """
     return _default_session().raw_traces(plan)
-
-
-def cached_bundle(plan: ExperimentPlan) -> TraceBundle:
-    """Deprecated: use :meth:`repro.Session.bundle`."""
-    _warn_deprecated("cached_bundle", "session.bundle(plan)")
-    return _default_session().bundle(plan)
-
-
-def cached_result(
-    plan: ExperimentPlan,
-    classifier: str = "c45",
-    method: str = "calibrated_probability",
-    false_alarm_rate: float = 0.02,
-    max_models: int | None = None,
-    n_buckets: int = 5,
-) -> DetectionResult:
-    """Deprecated: use :meth:`repro.Session.detect`."""
-    _warn_deprecated("cached_result", "session.detect(plan, ...)")
-    return _default_session().detect(
-        plan,
-        classifier=classifier,
-        method=method,
-        false_alarm_rate=false_alarm_rate,
-        max_models=max_models,
-        n_buckets=n_buckets,
-    )
 
 
 def per_monitor_results(

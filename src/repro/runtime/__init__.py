@@ -25,12 +25,18 @@
   :class:`~repro.runtime.metrics.TraceEvent` — timing, hit/miss and
   supervision counters plus the live progress hook;
 * :func:`~repro.runtime.bench.run_simulator_bench` /
-  :func:`~repro.runtime.bench.run_model_bench` — the benchmark harness
+  :func:`~repro.runtime.bench.run_model_bench` /
+  :func:`~repro.runtime.bench.run_fleet_bench` — the benchmark harness
   behind ``python -m repro bench`` and the committed ``BENCH_*.json``
   baselines.
 """
 
-from repro.runtime.bench import run_model_bench, run_simulator_bench, write_bench
+from repro.runtime.bench import (
+    run_fleet_bench,
+    run_model_bench,
+    run_simulator_bench,
+    write_bench,
+)
 from repro.runtime.cache import (
     ArtifactCache,
     ResumeJournal,
@@ -68,6 +74,7 @@ __all__ = [
     "code_version",
     "default_cache_dir",
     "default_session",
+    "run_fleet_bench",
     "run_model_bench",
     "run_simulator_bench",
     "set_default_session",

@@ -20,6 +20,16 @@ by ``python -m repro bench``):
   ``fit/n_jobs`` legs were dropped: the sub-model fits are pure-Python
   tree growth, so threads are GIL-bound and buy nothing — the shared
   pass is the fix.)
+* :func:`run_fleet_bench` — stream multiplexing.  For N = 1 / 64 / 1024
+  monitored streams it times the :class:`~repro.stream.FleetDetector`
+  tick-bucket pipeline (one vectorized scoring call per tick across all
+  streams) against N sequential :class:`~repro.stream.OnlineDetector`
+  runs over the same windows, asserting per-stream scores bit-identical
+  before recording the speedup.  The sequential baseline is an
+  *intensive* measurement — its per-window cost is independent of N —
+  so at large N it is measured on a capped row count and extrapolated
+  (recorded as ``baseline_extrapolated``), keeping the suite CI-sized
+  without distorting the ratio.
 
 Every entry records ``baseline_seconds`` (the pre-optimization path,
 which is kept in-tree as the reference implementation), ``optimized_seconds``
@@ -372,6 +382,134 @@ def run_model_bench(quick: bool = False, seed: int = 0) -> dict:
     ]
     return {
         "suite": "model",
+        "quick": quick,
+        "seed": seed,
+        "environment": _environment(),
+        "entries": entries,
+    }
+
+
+# ----------------------------------------------------------------------
+# fleet suite
+# ----------------------------------------------------------------------
+def run_fleet_bench(quick: bool = False, seed: int = 0) -> dict:
+    """Fleet suite: tick-batched multiplexing vs N sequential detectors.
+
+    For each stream count N, T sampling windows per stream are scored
+    two ways over identical synthetic feature rows:
+
+    * **baseline** — N independent ``OnlineDetector.consume`` loops,
+      one ``(1, L)`` scoring call per window (measured on up to
+      ``baseline_cap`` windows; the per-window cost is N-independent,
+      so the full-fleet wall-clock is the measured rate times N*T,
+      recorded as extrapolated when capped);
+    * **optimized** — one ``FleetDetector`` with N externally-fed
+      lanes, one ``(N, L)`` scoring call per tick.
+
+    Before timing is trusted, every lane's scores are asserted
+    bit-identical to the single batch ``normality_score`` over the same
+    rows (the fleet contract), and the baseline detector's scores to
+    lane 0's.
+    """
+    from repro.core.model import CrossFeatureModel
+    from repro.stream.detector import OnlineDetector
+    from repro.stream.extractor import WindowRow
+    from repro.stream.fleet import FleetDetector
+
+    if quick:
+        n_train, n_features, ticks = 600, 12, 8
+        stream_counts = (1, 64, 1024)
+        baseline_cap = 256
+    else:
+        n_train, n_features, ticks = 1_500, 16, 40
+        stream_counts = (1, 64, 1024)
+        baseline_cap = 2_000
+
+    X_train = _synthetic_features(n_train, n_features, seed)
+    model = CrossFeatureModel()
+    model.fit(X_train)
+    method = "avg_probability"
+    threshold = float(np.median(model.normality_score(X_train, method)))
+    period = 5.0
+
+    entries = []
+    for n_streams in stream_counts:
+        total = n_streams * ticks
+        # Row for stream s at tick k lives at X_all[k * n_streams + s].
+        X_all = _synthetic_features(total, n_features, seed + 1)
+        tick_times = [period * (k + 1) for k in range(ticks)]
+
+        def row_for(s: int, k: int) -> WindowRow:
+            return WindowRow(
+                index=k, time=tick_times[k], monitor=0,
+                features=X_all[k * n_streams + s],
+            )
+
+        # -- baseline: N sequential single-stream detectors -----------
+        n_base = min(total, baseline_cap)
+        detectors = [
+            OnlineDetector(model, threshold, method=method)
+            for _ in range(n_streams)
+        ]
+        consumed = 0
+        t0 = time.perf_counter()
+        for s in range(n_streams):
+            online = detectors[s]
+            for k in range(ticks):
+                online.consume(row_for(s, k))
+                consumed += 1
+                if consumed >= n_base:
+                    break
+            if consumed >= n_base:
+                break
+        baseline_measured_s = time.perf_counter() - t0
+        sequential_rate = consumed / baseline_measured_s
+        baseline_s = total / sequential_rate
+
+        # -- optimized: one fleet, one batch per tick ------------------
+        fleet = FleetDetector(model, threshold, method=method)
+        for s in range(n_streams):
+            fleet.attach(f"n{s}")
+        t0 = time.perf_counter()
+        for k, t in enumerate(tick_times):
+            for s in range(n_streams):
+                fleet.ingest(f"n{s}", row_for(s, k))
+            fleet.seal_all(t)
+        fleet.finish()
+        fleet_s = time.perf_counter() - t0
+
+        # -- equivalence contract, asserted before the entry counts ---
+        expected = model.normality_score(X_all, method)
+        for s in range(n_streams):
+            lane = np.asarray(fleet._lanes[f"n{s}"].scores)
+            if not np.array_equal(lane, expected[s::n_streams]):
+                raise AssertionError(
+                    f"fleet lane {s}/{n_streams} diverged from the batch scores"
+                )
+        probe = np.asarray(detectors[0].scores)
+        if not np.array_equal(probe, expected[0::n_streams][: len(probe)]):
+            raise AssertionError(
+                "sequential OnlineDetector diverged from the batch scores"
+            )
+
+        entries.append(_entry(
+            f"fleet/{n_streams}streams",
+            baseline_s,
+            fleet_s,
+            kind="multiplex",
+            n_streams=n_streams,
+            ticks=ticks,
+            windows=total,
+            n_features=n_features,
+            baseline_measured_windows=consumed,
+            baseline_extrapolated=consumed < total,
+            sequential_windows_per_s=round(sequential_rate, 1),
+            fleet_windows_per_s=round(total / fleet_s, 1) if fleet_s > 0 else float("inf"),
+            identity="per-stream scores bit-identical to the batch matrix",
+        ))
+
+    return {
+        "suite": "fleet",
         "quick": quick,
         "seed": seed,
         "environment": _environment(),

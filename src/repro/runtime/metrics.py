@@ -52,9 +52,15 @@ class TraceEvent:
     * ``"alarm"`` — the online detector raised an anomaly alarm during a
       streaming run (``label`` describes it, ``seconds`` holds the
       scoring latency);
+    * ``"fused_alarm"`` — a fleet run's cross-monitor quorum fused the
+      per-stream alarms into a network-level verdict (``label``
+      describes it, ``seconds`` holds the batch scoring latency);
+    * ``"fleet_batch"`` — the fleet scored one tick's window bucket in
+      a single vectorized call (``label`` holds the batch size,
+      ``seconds`` the call's wall-clock);
     * ``"stage"`` — a pipeline stage finished (``label`` holds the stage
       name — ``simulate`` / ``extract`` / ``fit`` / ``score`` /
-      ``stream`` — and ``seconds`` its wall-clock).
+      ``stream`` / ``fleet`` — and ``seconds`` its wall-clock).
     """
 
     kind: str
@@ -89,6 +95,9 @@ class RuntimeMetrics:
         self.pool_failures = 0
         self.cache_write_failures = 0
         self.alarms = 0
+        self.fused_alarms = 0
+        self.fleet_batches = 0
+        self.fleet_windows = 0
         #: (label, wall-clock seconds) per simulated trace, completion order.
         self.trace_seconds: list[tuple[str, float]] = []
         #: Accumulated wall-clock per pipeline stage (``simulate`` /
@@ -178,6 +187,17 @@ class RuntimeMetrics:
         self.alarms += 1
         self._emit("alarm", label, latency_s)
 
+    def record_fused_alarm(self, label: str = "", latency_s: float = 0.0) -> None:
+        """A fleet run's quorum fused stream alarms into a verdict."""
+        self.fused_alarms += 1
+        self._emit("fused_alarm", label, latency_s)
+
+    def record_fleet_batch(self, size: int, seconds: float = 0.0) -> None:
+        """One vectorized fleet scoring call covered ``size`` windows."""
+        self.fleet_batches += 1
+        self.fleet_windows += int(size)
+        self._emit("fleet_batch", str(int(size)), seconds)
+
     # -- stage timing ----------------------------------------------------
     def record_stage(self, stage: str, seconds: float) -> None:
         """Accumulate wall-clock into a named pipeline stage."""
@@ -207,6 +227,9 @@ class RuntimeMetrics:
         self.pool_failures = 0
         self.cache_write_failures = 0
         self.alarms = 0
+        self.fused_alarms = 0
+        self.fleet_batches = 0
+        self.fleet_windows = 0
         self.trace_seconds = []
         self.stage_seconds = {}
 
@@ -232,6 +255,13 @@ class RuntimeMetrics:
             extras.append(f"{self.cache_write_failures} cache write failures")
         if self.alarms:
             extras.append(f"{self.alarms} alarms")
+        if self.fused_alarms:
+            extras.append(f"{self.fused_alarms} fused alarms")
+        if self.fleet_batches:
+            extras.append(
+                f"{self.fleet_windows} fleet windows in "
+                f"{self.fleet_batches} batches"
+            )
         if self.stage_seconds:
             stages = " ".join(
                 f"{k}={v:.1f}s" for k, v in sorted(self.stage_seconds.items())

@@ -19,10 +19,12 @@ Usage::
     bundle = session.bundle(ExperimentPlan(protocol="aodv"))
     result = session.detect(ExperimentPlan(protocol="dsr"), classifier="c45")
     results = session.sweep(four_scenarios())          # shares one fan-out
+    stream = session.stream_detect(plan)               # one live monitor
+    fleet = session.fleet_detect(plan, quorum=2)       # every node, fused
 
-The legacy module-level helpers (``cached_bundle`` / ``cached_result`` /
-``simulate_bundle``) delegate to a process-wide default session and emit
-:class:`DeprecationWarning`.
+The pre-Session module-level helpers (``cached_bundle`` /
+``cached_result`` / ``simulate_bundle``) have been removed; importing
+them raises :class:`ImportError` with the migration hint.
 """
 
 from __future__ import annotations
@@ -51,6 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.model import CrossFeatureDetector
     from repro.simulation.scenario import ScenarioConfig, SimulationTrace
     from repro.stream.detector import Alarm, StreamResult
+    from repro.stream.fleet import FleetAlarm, FleetResult
 
 #: File name of the sweep resume journal inside the cache directory.
 _JOURNAL_NAME = "sweep.journal"
@@ -421,6 +424,9 @@ class Session:
         false_alarm_rate: float = 0.02,
         seed: int | None = None,
         attack: bool = True,
+        monitor: int | None = None,
+        warmup: float | None = None,
+        threshold: float | None = None,
         max_models: int | None = None,
         n_buckets: int = 5,
         n_jobs: int | None = 1,
@@ -447,8 +453,10 @@ class Session:
         attack:
             ``False`` streams an intrusion-free trace instead (expected
             alarm rate ≈ the calibrated false-alarm rate).
-        on_alarm:
-            Extra callback invoked with each :class:`Alarm` as it fires.
+        monitor, warmup, threshold, on_alarm:
+            The shared construction keywords (see
+            :mod:`repro.stream.config`); ``None`` defaults to the plan's
+            monitor / warmup and the calibrated threshold.
 
         The streamed run itself bypasses the artifact cache: taps consume
         events as they happen, so the trace is simulated fresh (timed as
@@ -471,6 +479,10 @@ class Session:
             n_jobs=n_jobs,
         )
 
+        monitor = plan.monitor if monitor is None else int(monitor)
+        if monitor == plan.attacker:
+            raise ValueError("monitor must differ from the attacker")
+        warmup = plan.warmup if warmup is None else float(warmup)
         if seed is None:
             seed = plan.attack_seeds[0] if attack else plan.normal_seeds[0]
         config = plan.scenario_config(seed)
@@ -486,13 +498,13 @@ class Session:
                 on_alarm(alarm)
 
         online = OnlineDetector.from_detector(
-            detector, monitor=plan.monitor, on_alarm=relay
+            detector, threshold=threshold, monitor=monitor, on_alarm=relay
         )
         tap = extractor_for_config(
             config,
-            monitor=plan.monitor,
+            monitor=monitor,
             periods=plan.periods,
-            warmup=plan.warmup,
+            warmup=warmup,
             on_row=online.consume,
             keep_rows=False,
         )
@@ -503,9 +515,128 @@ class Session:
 
         ticks = np.asarray(trace.tick_times, dtype=float)
         labels = np.asarray(trace.window_labels(plan.label_policy), dtype=bool)
-        if plan.warmup > 0:
-            labels = labels[ticks >= plan.warmup]
+        if warmup > 0:
+            labels = labels[ticks >= warmup]
         return online.result(labels=labels, elapsed_s=elapsed)
+
+    def fleet_detect(
+        self,
+        plan: ExperimentPlan,
+        classifier: str = "c45",
+        method: str = "calibrated_probability",
+        false_alarm_rate: float = 0.02,
+        seeds: Sequence[int] | None = None,
+        attack: bool = True,
+        monitors: Sequence[int] | None = None,
+        warmup: float | None = None,
+        threshold: float | None = None,
+        quorum: int | float = 1,
+        max_models: int | None = None,
+        n_buckets: int = 5,
+        n_jobs: int | None = 1,
+        on_alarm: "Callable[[Alarm], None] | None" = None,
+        on_fused: "Callable[[FleetAlarm], None] | None" = None,
+    ) -> "FleetResult":
+        """Fleet detection: one detector watching every node at once.
+
+        Trains (or reuses) the plan's detector via
+        :meth:`fitted_detector`, registers one streaming lane per
+        (scenario, monitor) through
+        :meth:`~repro.stream.FleetDetector.from_session`, then runs one
+        fresh scenario per seed with all of that scenario's taps riding
+        it.  Windows closing on the same tick — across every monitored
+        node and every scenario — are scored in one vectorized batch;
+        per-stream scores are bit-identical to independent
+        :meth:`stream_detect` runs over the same traces.
+
+        Per-stream alarms surface as ``"alarm"`` metrics events, fused
+        network-level verdicts as ``"fused_alarm"`` events (the CLI
+        prints them live), and every scoring batch is accounted via
+        :meth:`RuntimeMetrics.record_fleet_batch`.
+
+        Parameters
+        ----------
+        seeds:
+            Mobility seeds, one fresh scenario each (default: the plan's
+            first attack seed, or first normal seed with
+            ``attack=False``).
+        attack:
+            ``False`` streams intrusion-free scenarios instead.
+        monitors, warmup, threshold, quorum, on_alarm, on_fused:
+            The shared construction keywords (see
+            :mod:`repro.stream.config`); ``monitors=None`` watches every
+            node except the plan's attacker.
+
+        The streamed runs bypass the artifact cache (timed as the
+        ``fleet`` stage); ground-truth labels are attached post hoc per
+        scenario under the plan's label policy.
+        """
+        import numpy as np
+
+        from repro.simulation.scenario import run_scenario
+        from repro.stream.fleet import FleetDetector
+
+        def relay_alarm(alarm: "Alarm") -> None:
+            self.metrics.record_alarm(
+                f"{alarm.stream} t={alarm.time:g}s score={alarm.score:.4f} "
+                f"< {alarm.threshold:.4f}",
+                alarm.latency_s,
+            )
+            if on_alarm is not None:
+                on_alarm(alarm)
+
+        def relay_fused(fused: "FleetAlarm") -> None:
+            self.metrics.record_fused_alarm(
+                f"t={fused.time:g}s {len(fused.streams)}/{fused.reporting} "
+                f"streams below {fused.threshold:.4f} "
+                f"(quorum {fused.needed})",
+                fused.latency_s,
+            )
+            if on_fused is not None:
+                on_fused(fused)
+
+        if seeds is None:
+            seeds = (plan.attack_seeds[0],) if attack else (plan.normal_seeds[0],)
+        seeds = tuple(seeds)
+        scenario_names = tuple(f"s{k}" for k in range(len(seeds)))
+        warmup = plan.warmup if warmup is None else float(warmup)
+
+        fleet = FleetDetector.from_session(
+            self,
+            plan,
+            monitors=monitors,
+            scenarios=scenario_names,
+            warmup=warmup,
+            threshold=threshold,
+            quorum=quorum,
+            classifier=classifier,
+            method=method,
+            false_alarm_rate=false_alarm_rate,
+            max_models=max_models,
+            n_buckets=n_buckets,
+            n_jobs=n_jobs,
+            on_alarm=relay_alarm,
+            on_fused=relay_fused,
+            on_batch=self.metrics.record_fleet_batch,
+        )
+
+        attacks = plan.build_attacks() if attack else []
+        labels: dict[str, np.ndarray] = {}
+        t0 = time.perf_counter()
+        for name, seed in zip(scenario_names, seeds):
+            config = plan.scenario_config(seed)
+            taps = fleet.taps(name)
+            trace = run_scenario(config, attacks=attacks, taps=taps)
+            ticks = np.asarray(trace.tick_times, dtype=float)
+            truth = np.asarray(trace.window_labels(plan.label_policy), dtype=bool)
+            if warmup > 0:
+                truth = truth[ticks >= warmup]
+            for tap in taps:
+                labels[tap.name] = truth
+        fleet.finish()
+        elapsed = time.perf_counter() - t0
+        self.metrics.record_stage("fleet", elapsed)
+        return fleet.result(labels=labels, elapsed_s=elapsed)
 
     def sweep(
         self,

@@ -8,18 +8,28 @@ multi-period Table 5 grid — O(1) amortised per window), and an
 :class:`OnlineDetector` scores each window as it closes, emitting typed
 :class:`Alarm` events with latency accounting.
 
+At fleet scale, a :class:`FleetDetector` multiplexes N extractor streams
+(one per monitored node, across one or many scenarios) into a single
+pipeline: all windows closing on the same tick are scored in **one**
+vectorized batch, per-stream :class:`Alarm` streams are fused into
+network-level :class:`FleetAlarm` verdicts under a configurable quorum
+policy, and every construction surface shares the keywords documented in
+:mod:`repro.stream.config`.
+
 The contract: for any scenario, the streamed per-window feature rows and
 scores are **bit-identical** to the batch
 ``extract_features`` → ``CrossFeatureModel.normality_score`` path over
-the completed trace (asserted end to end by ``tests/stream/``).
+the completed trace — and a fleet run is bit-identical to N independent
+:class:`OnlineDetector` runs (asserted end to end by ``tests/stream/``).
 
 Usage::
 
     from repro import ScenarioConfig, Session
-    from repro.stream import OnlineDetector, StreamingExtractor
+    from repro.stream import FleetDetector, OnlineDetector, StreamingExtractor
 
     session = Session()
     result = session.stream_detect(plan)          # train (cached) + stream live
+    verdict = session.fleet_detect(plan, quorum=2)   # every node, fused alarms
 
     # or hand-wired on a raw scenario:
     detector = OnlineDetector.from_detector(fitted, on_alarm=print)
@@ -28,19 +38,38 @@ Usage::
     run_scenario(config, attacks, taps=[tap])
 """
 
+from repro.stream.config import (
+    DEFAULT_MONITOR,
+    DEFAULT_QUORUM,
+    DEFAULT_WARMUP,
+    needed_votes,
+    resolve_threshold,
+    validate_quorum,
+)
 from repro.stream.detector import Alarm, OnlineDetector, StreamResult
 from repro.stream.extractor import StreamingExtractor, WindowRow, extractor_for_config
+from repro.stream.fleet import FleetAlarm, FleetDetector, FleetResult, FleetStream
 from repro.stream.replay import replay_trace
 from repro.stream.ring import EventRing, RouteLengthRing
 
 __all__ = [
     "Alarm",
+    "DEFAULT_MONITOR",
+    "DEFAULT_QUORUM",
+    "DEFAULT_WARMUP",
     "EventRing",
+    "FleetAlarm",
+    "FleetDetector",
+    "FleetResult",
+    "FleetStream",
     "OnlineDetector",
     "RouteLengthRing",
     "StreamResult",
     "StreamingExtractor",
     "WindowRow",
     "extractor_for_config",
+    "needed_votes",
     "replay_trace",
+    "resolve_threshold",
+    "validate_quorum",
 ]

@@ -1,0 +1,91 @@
+"""The one place the detector-construction knobs are defined.
+
+Every online-detection constructor — :meth:`OnlineDetector.from_detector`,
+:meth:`FleetDetector.from_detector` / :meth:`FleetDetector.from_session`,
+:meth:`Session.stream_detect` and :meth:`Session.fleet_detect` — accepts
+the same keywords with the same meanings and the same defaults, defined
+here so the surfaces cannot drift apart (``tests/stream/test_fleet.py``
+asserts the symmetry by introspection):
+
+``threshold`` : float | None
+    Decision threshold; a window alarms iff ``score < threshold``.
+    ``None`` (the default everywhere) adopts the fitted batch detector's
+    calibrated ``threshold_`` via :func:`resolve_threshold`.
+``warmup`` : float | None
+    Suppress windows ending before this simulation time.  The raw
+    default is :data:`DEFAULT_WARMUP` (0.0 — score everything); the
+    Session methods default to ``None``, meaning "the plan's warmup".
+``monitor`` / ``monitors``
+    The observed node (:data:`DEFAULT_MONITOR`) for single-stream
+    detection, or the observed node set for a fleet.  Session methods
+    default to ``None``: the plan's monitor, or for a fleet every node
+    except the plan's attacker.
+``quorum`` : int | float
+    The fused-verdict policy (:data:`DEFAULT_QUORUM`): an ``int`` k
+    demands k alarming streams among those reporting on a tick (k-of-n
+    with a fixed k — conservative when streams drop out); a ``float``
+    in (0, 1] demands that fraction of the *reporting* streams (adapts
+    to dropped or still-warming-up streams).  :func:`needed_votes`
+    evaluates the policy per tick.
+``on_alarm`` / ``on_fused``
+    Callbacks invoked per-stream :class:`~repro.stream.detector.Alarm`
+    and per fused :class:`~repro.stream.fleet.FleetAlarm` as they fire.
+
+The detector-training knobs (``classifier`` / ``method`` /
+``false_alarm_rate`` / ``max_models`` / ``n_buckets`` / ``n_jobs``)
+follow :meth:`repro.runtime.Session.fitted_detector` unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Default observed node for single-stream detection.
+DEFAULT_MONITOR = 0
+
+#: Default warmup: score every closed window from time zero.
+DEFAULT_WARMUP = 0.0
+
+#: Default fusion policy: any one alarming stream raises the fused alarm.
+DEFAULT_QUORUM: int | float = 1
+
+
+def resolve_threshold(detector, threshold: float | None) -> float:
+    """The effective decision threshold for a construction call.
+
+    ``None`` adopts the fitted detector's calibrated ``threshold_``;
+    an explicit value overrides it.  Raises :class:`ValueError` when
+    there is nothing to adopt (unfitted / uncalibrated detector).
+    """
+    if threshold is not None:
+        return float(threshold)
+    if getattr(detector, "threshold_", None) is None:
+        raise ValueError(
+            "detector has no calibrated threshold_; fit it with a "
+            "calibration_X or pass threshold= explicitly"
+        )
+    return float(detector.threshold_)
+
+
+def validate_quorum(quorum: int | float) -> int | float:
+    """Check a quorum policy value (see the module docstring)."""
+    if isinstance(quorum, bool) or not isinstance(quorum, (int, float)):
+        raise ValueError(f"quorum must be an int >= 1 or a float in (0, 1], got {quorum!r}")
+    if isinstance(quorum, int):
+        if quorum < 1:
+            raise ValueError(f"integer quorum must be >= 1, got {quorum}")
+    elif not 0.0 < quorum <= 1.0:
+        raise ValueError(f"fractional quorum must be in (0, 1], got {quorum}")
+    return quorum
+
+
+def needed_votes(quorum: int | float, reporting: int) -> int:
+    """Alarming streams required to fuse, given how many reported.
+
+    An ``int`` quorum is absolute (never satisfiable while fewer than
+    k streams report — dropped streams make the fleet *more* cautious);
+    a ``float`` is a ceiling fraction of the reporting streams.
+    """
+    if isinstance(quorum, int):
+        return quorum
+    return max(1, math.ceil(quorum * reporting))

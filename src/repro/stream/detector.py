@@ -43,6 +43,7 @@ class Alarm:
     threshold: float    #: decision threshold in force
     monitor: int        #: observed node
     latency_s: float    #: wall-clock seconds from window close to alarm
+    stream: str = ""    #: fleet lane name ("" outside fleet detection)
 
 
 @dataclass
@@ -134,15 +135,23 @@ class OnlineDetector:
     def from_detector(
         cls,
         detector: CrossFeatureDetector,
+        threshold: float | None = None,
         monitor: int = 0,
         on_alarm: Callable[[Alarm], None] | None = None,
     ) -> "OnlineDetector":
-        """Wrap a fitted batch :class:`CrossFeatureDetector` unchanged."""
-        if detector.threshold_ is None:
+        """Wrap a fitted batch :class:`CrossFeatureDetector` unchanged.
+
+        ``threshold=None`` adopts the detector's calibrated
+        ``threshold_`` — the shared construction rule documented in
+        :mod:`repro.stream.config`.
+        """
+        from repro.stream.config import resolve_threshold
+
+        if detector.threshold_ is None and threshold is None:
             raise ValueError("detector must be fitted before online detection")
         return cls(
             model=detector.model,
-            threshold=detector.threshold_,
+            threshold=resolve_threshold(detector, threshold),
             method=detector.method,
             monitor=monitor,
             on_alarm=on_alarm,

@@ -1,0 +1,630 @@
+"""Fleet detection: many monitored streams, one scoring pipeline.
+
+An :class:`OnlineDetector` watches one node; the paper's deployment story
+is an IDS agent on *every* node.  A :class:`FleetDetector` multiplexes N
+:class:`~repro.stream.extractor.StreamingExtractor` streams — one per
+monitored node, across one or many concurrent scenarios — into a single
+pipeline: windows closing on the same sampling tick are collected into
+one bucket and scored in **one** vectorized
+:meth:`~repro.core.model.CrossFeatureModel.normality_score` call, instead
+of N separate single-row calls.
+
+Correctness rests on the PR 4 streaming contract: every step of
+``normality_score`` (discretizer transform, frontier-batched tree walk,
+per-row probability pooling) treats rows independently, so scoring the
+``(N, L)`` tick bucket is bit-identical to N independent ``(1, L)``
+calls — a fleet run reproduces N independent :class:`OnlineDetector`
+runs exactly (asserted by ``tests/stream/test_fleet_equivalence.py`` and
+in the bench harness).
+
+Mechanics
+---------
+Each stream is a *lane* with a time **frontier**: the latest sampling
+tick the lane's clock has proven passed.  Delivered rows buffer in
+per-tick buckets; a bucket at time ``t`` finalises (scores) once every
+active lane's frontier is strictly past ``t`` — the fleet watermark.
+Lanes that finish or are :meth:`dropped <FleetDetector.drop>` stop
+holding the watermark back, so a dead probe cannot stall the fleet; a
+*late* lane simply delays finalisation (rows buffer cheaply).
+
+Per-stream alarms keep :class:`~repro.stream.detector.Alarm` semantics
+(tagged with the lane name); each finalised bucket is additionally put
+to a fused network-level vote: if the number of alarming streams meets
+the quorum policy (k-of-n or fraction-of-reporting, see
+:mod:`repro.stream.config`) a :class:`FleetAlarm` fires.
+
+Streams are either **tap-fed** — :meth:`FleetDetector.add_stream`
+returns a :class:`FleetStream` implementing the scenario tap protocol,
+so it rides :func:`~repro.simulation.scenario.run_scenario` or
+:func:`~repro.stream.replay.replay_trace` directly — or **externally
+fed** via :meth:`attach` / :meth:`ingest` / :meth:`seal`, for rows that
+arrive from outside the in-process simulator (and for benchmarks that
+time scoring without extraction).
+
+Construction mirrors the single-stream surface
+(:mod:`repro.stream.config` documents the shared keywords)::
+
+    fleet = FleetDetector.from_detector(fitted, quorum=0.5)
+    for m in monitors:
+        fleet.add_stream(m, sampling_period=config.sampling_period)
+    run_scenario(config, attacks, taps=fleet.taps())
+    result = fleet.result()
+
+or, end to end through the runtime layer::
+
+    result = Session().fleet_detect(plan, quorum=2)
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.model import CrossFeatureDetector, CrossFeatureModel
+from repro.features.traffic import DEFAULT_SAMPLING_PERIODS
+from repro.stream.config import (
+    DEFAULT_MONITOR,
+    DEFAULT_QUORUM,
+    DEFAULT_WARMUP,
+    needed_votes,
+    resolve_threshold,
+    validate_quorum,
+)
+from repro.stream.detector import Alarm, StreamResult
+from repro.stream.extractor import StreamingExtractor, WindowRow
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.eval.experiments import ExperimentPlan
+    from repro.runtime.session import Session
+
+
+@dataclass(frozen=True)
+class FleetAlarm:
+    """One fused network-level verdict: the quorum of streams alarmed.
+
+    ``streams``/``scores`` list the alarming lanes (and their scores) on
+    the tick; ``reporting`` is how many streams delivered a window for
+    the tick at all, and ``needed`` the quorum the policy demanded of
+    them.  ``latency_s`` is the wall-clock cost of the batch scoring
+    call that produced the verdict.
+    """
+
+    time: float                  #: window end, simulation seconds
+    streams: tuple[str, ...]     #: names of the alarming lanes
+    scores: tuple[float, ...]    #: their normality scores, same order
+    reporting: int               #: lanes that delivered a window this tick
+    needed: int                  #: alarming lanes the quorum demanded
+    threshold: float             #: decision threshold in force
+    latency_s: float             #: wall-clock seconds for the batch score
+
+
+class _Lane:
+    """Per-stream bookkeeping inside the fleet (not public API)."""
+
+    __slots__ = (
+        "name", "scenario", "monitor", "frontier", "done",
+        "times", "scores", "latencies", "alarms",
+    )
+
+    def __init__(self, name: str, scenario: str, monitor: int):
+        self.name = name
+        self.scenario = scenario
+        self.monitor = monitor
+        self.frontier = float("-inf")
+        self.done = False
+        self.times: list[float] = []
+        self.scores: list[float] = []
+        self.latencies: list[float] = []
+        self.alarms: list[Alarm] = []
+
+
+class FleetStream:
+    """One tap-fed fleet lane: the scenario tap protocol, multiplexed.
+
+    Wraps a :class:`StreamingExtractor` whose emitted rows are delivered
+    to the owning :class:`FleetDetector`'s tick buckets; each sampling
+    tick advances the lane's frontier and lets the fleet finalise every
+    bucket the whole fleet has moved past.  Pass instances to
+    :func:`~repro.simulation.scenario.run_scenario` via ``taps=`` or to
+    :func:`~repro.stream.replay.replay_trace` like any other tap.
+    """
+
+    def __init__(self, fleet: "FleetDetector", lane: _Lane, extractor: StreamingExtractor):
+        self._fleet = fleet
+        self._lane = lane
+        self._extractor = extractor
+
+    @property
+    def name(self) -> str:
+        """The lane name (``"<scenario>/n<monitor>"`` by default)."""
+        return self._lane.name
+
+    @property
+    def scenario(self) -> str:
+        """Scenario group this lane belongs to."""
+        return self._lane.scenario
+
+    @property
+    def monitor(self) -> int:
+        """Observed node id (the scenario binds the tap by this)."""
+        return self._lane.monitor
+
+    # -- scenario-tap protocol -----------------------------------------
+    def bind(self, stats) -> None:
+        """Subscribe the inner extractor to the monitor's live log."""
+        self._extractor.bind(stats)
+
+    def unbind(self) -> None:
+        """Detach the inner extractor from its bound node."""
+        self._extractor.unbind()
+
+    def on_tick(self, time: float, speed: float) -> None:
+        """A sampling tick: advance the window clock and the watermark."""
+        self._extractor.on_tick(time, speed)
+        self._lane.frontier = float(time)
+        self._fleet._advance()
+
+    def finish(self) -> None:
+        """Stream end: flush the pending window, release the watermark."""
+        if self._lane.done:
+            return
+        self._extractor.finish()
+        self._fleet._finish_lane(self._lane)
+
+    # -- NodeStats-listener protocol (replay feeds these directly) -----
+    def on_packet(self, time, ptype, direction) -> None:
+        self._extractor.on_packet(time, ptype, direction)
+
+    def on_route_event(self, time, kind) -> None:
+        self._extractor.on_route_event(time, kind)
+
+    def on_route_length(self, time, hops) -> None:
+        self._extractor.on_route_length(time, hops)
+
+
+@dataclass
+class FleetResult:
+    """Everything one fleet run produced.
+
+    ``streams`` maps lane name to the same :class:`StreamResult` an
+    independent :class:`OnlineDetector` over that stream would have
+    frozen (scores bit-identical); ``fused`` is the network-level alarm
+    stream and ``batch_sizes`` the per-tick scoring batch sizes (the
+    multiplexing win: mean batch size ≈ active streams).
+    """
+
+    threshold: float
+    method: str
+    quorum: int | float
+    streams: dict[str, StreamResult]
+    fused: list[FleetAlarm]
+    batch_sizes: list[int] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def n_streams(self) -> int:
+        """Number of lanes the fleet multiplexed."""
+        return len(self.streams)
+
+    @property
+    def windows(self) -> int:
+        """Total windows scored across every lane."""
+        return sum(r.windows for r in self.streams.values())
+
+    @property
+    def alarms(self) -> int:
+        """Total per-stream alarms across every lane."""
+        return sum(len(r.alarms) for r in self.streams.values())
+
+    @property
+    def batches(self) -> int:
+        """Vectorized scoring calls the run needed (one per closed tick)."""
+        return len(self.batch_sizes)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean rows per scoring call — the multiplexing factor."""
+        return (
+            sum(self.batch_sizes) / len(self.batch_sizes)
+            if self.batch_sizes else 0.0
+        )
+
+    @property
+    def windows_per_second(self) -> float:
+        """Fleet detection throughput (scored windows per wall-clock second)."""
+        return self.windows / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable digest (the CLI prints this)."""
+        return (
+            f"{self.n_streams} streams, {self.windows} windows in "
+            f"{self.batches} batches (mean {self.mean_batch_size:.1f} rows), "
+            f"{self.alarms} stream alarms, {len(self.fused)} fused alarms, "
+            f"{self.windows_per_second:,.0f} windows/s"
+        )
+
+
+class FleetDetector:
+    """Score many monitored streams through one vectorized pipeline.
+
+    Parameters
+    ----------
+    model:
+        A *trained* (and, for ``calibrated_probability``, calibrated)
+        :class:`CrossFeatureModel` shared by every lane.
+    threshold, method, quorum, on_alarm, on_fused:
+        The shared construction keywords — see
+        :mod:`repro.stream.config` for semantics and defaults.
+    on_batch:
+        Callback ``(batch_size, seconds)`` per vectorized scoring call
+        (the Session wires :meth:`RuntimeMetrics.record_fleet_batch`
+        here for per-tick batch-size accounting).
+    """
+
+    def __init__(
+        self,
+        model: CrossFeatureModel,
+        threshold: float,
+        method: str = "avg_probability",
+        quorum: int | float = DEFAULT_QUORUM,
+        on_alarm: Callable[[Alarm], None] | None = None,
+        on_fused: Callable[[FleetAlarm], None] | None = None,
+        on_batch: Callable[[int, float], None] | None = None,
+    ):
+        if model.discretizer is None:
+            raise ValueError("model must be fitted before fleet detection")
+        self.model = model
+        self.threshold = float(threshold)
+        self.method = method
+        self.quorum = validate_quorum(quorum)
+        self.on_alarm = on_alarm
+        self.on_fused = on_fused
+        self.on_batch = on_batch
+        self.fused: list[FleetAlarm] = []
+        self.batch_sizes: list[int] = []
+        self._lanes: dict[str, _Lane] = {}
+        self._streams: dict[str, FleetStream] = {}
+        self._buckets: dict[float, list[tuple[_Lane, WindowRow]]] = {}
+        self._heap: list[float] = []
+        self._finalized_through = float("-inf")
+
+    # ------------------------------------------------------------------
+    # Construction (the unified surface; see repro.stream.config)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_detector(
+        cls,
+        detector: CrossFeatureDetector,
+        threshold: float | None = None,
+        quorum: int | float = DEFAULT_QUORUM,
+        on_alarm: Callable[[Alarm], None] | None = None,
+        on_fused: Callable[[FleetAlarm], None] | None = None,
+        on_batch: Callable[[int, float], None] | None = None,
+    ) -> "FleetDetector":
+        """Wrap a fitted batch :class:`CrossFeatureDetector` unchanged.
+
+        ``threshold=None`` adopts the detector's calibrated
+        ``threshold_`` (the same rule as
+        :meth:`OnlineDetector.from_detector`).
+        """
+        return cls(
+            model=detector.model,
+            threshold=resolve_threshold(detector, threshold),
+            method=detector.method,
+            quorum=quorum,
+            on_alarm=on_alarm,
+            on_fused=on_fused,
+            on_batch=on_batch,
+        )
+
+    @classmethod
+    def from_session(
+        cls,
+        session: "Session",
+        plan: "ExperimentPlan",
+        monitors: Sequence[int] | None = None,
+        scenarios: int | Sequence[str] = 1,
+        warmup: float | None = None,
+        threshold: float | None = None,
+        quorum: int | float = DEFAULT_QUORUM,
+        classifier: str = "c45",
+        method: str = "calibrated_probability",
+        false_alarm_rate: float = 0.02,
+        max_models: int | None = None,
+        n_buckets: int = 5,
+        n_jobs: int | None = 1,
+        on_alarm: Callable[[Alarm], None] | None = None,
+        on_fused: Callable[[FleetAlarm], None] | None = None,
+        on_batch: Callable[[int, float], None] | None = None,
+    ) -> "FleetDetector":
+        """Train via the session and register one lane per (scenario, monitor).
+
+        Trains (or reuses) the plan's detector through
+        :meth:`Session.fitted_detector` with the usual training knobs,
+        then adds a stream for every monitor of every scenario group:
+        ``monitors=None`` watches every node except the plan's attacker;
+        ``scenarios`` is a group count (named ``"s0"``, ``"s1"``, ...)
+        or explicit group names.  The registered taps are retrieved with
+        :meth:`taps` and fed to ``run_scenario`` / ``replay_trace``.
+        """
+        detector = session.fitted_detector(
+            plan,
+            classifier=classifier,
+            method=method,
+            false_alarm_rate=false_alarm_rate,
+            max_models=max_models,
+            n_buckets=n_buckets,
+            n_jobs=n_jobs,
+        )
+        fleet = cls.from_detector(
+            detector,
+            threshold=threshold,
+            quorum=quorum,
+            on_alarm=on_alarm,
+            on_fused=on_fused,
+            on_batch=on_batch,
+        )
+        if monitors is None:
+            monitors = tuple(m for m in range(plan.n_nodes) if m != plan.attacker)
+        if isinstance(scenarios, int):
+            scenarios = tuple(f"s{k}" for k in range(scenarios))
+        sampling_period = plan.scenario_config(plan.train_seeds[0]).sampling_period
+        for scenario in scenarios:
+            for monitor in monitors:
+                fleet.add_stream(
+                    monitor,
+                    scenario=scenario,
+                    periods=plan.periods,
+                    sampling_period=sampling_period,
+                    warmup=plan.warmup if warmup is None else warmup,
+                )
+        return fleet
+
+    # ------------------------------------------------------------------
+    # Stream registration
+    # ------------------------------------------------------------------
+    def _register(self, name: str, scenario: str, monitor: int) -> _Lane:
+        if name in self._lanes:
+            raise ValueError(f"stream {name!r} is already registered")
+        lane = _Lane(name, scenario, monitor)
+        self._lanes[name] = lane
+        return lane
+
+    def add_stream(
+        self,
+        monitor: int = DEFAULT_MONITOR,
+        scenario: str = "s0",
+        periods: Sequence[float] = DEFAULT_SAMPLING_PERIODS,
+        sampling_period: float = 5.0,
+        warmup: float = DEFAULT_WARMUP,
+        name: str | None = None,
+    ) -> FleetStream:
+        """Register a tap-fed lane extracting windows at ``monitor``.
+
+        Returns the :class:`FleetStream` tap; pass it to
+        ``run_scenario(..., taps=...)`` or ``replay_trace``.  Lanes in
+        different ``scenario`` groups may ride different concurrent
+        scenarios; their same-time windows still share score batches.
+        """
+        lane = self._register(name or f"{scenario}/n{monitor}", scenario, monitor)
+        extractor = StreamingExtractor(
+            monitor=monitor,
+            periods=tuple(periods),
+            sampling_period=sampling_period,
+            warmup=warmup,
+            on_row=lambda row, _lane=lane: self._deliver(_lane, row),
+            keep_rows=False,
+        )
+        stream = FleetStream(self, lane, extractor)
+        self._streams[lane.name] = stream
+        return stream
+
+    def taps(self, scenario: str | None = None) -> list[FleetStream]:
+        """The registered tap-fed streams (optionally one scenario group)."""
+        return [
+            s for s in self._streams.values()
+            if scenario is None or s.scenario == scenario
+        ]
+
+    # ------------------------------------------------------------------
+    # Externally-fed lanes (rows arrive from outside the simulator)
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        name: str,
+        monitor: int = DEFAULT_MONITOR,
+        scenario: str = "s0",
+    ) -> None:
+        """Register an externally-fed lane (no extractor of its own).
+
+        Feed it with :meth:`ingest` (closed :class:`WindowRow` events —
+        from a remote probe, a message bus, or a benchmark harness) and
+        advance its clock with :meth:`seal`.
+        """
+        self._register(name, scenario, monitor)
+
+    def ingest(self, name: str, row: WindowRow) -> None:
+        """Deliver one closed window for an externally-fed lane."""
+        lane = self._lanes[name]
+        if lane.done:
+            raise ValueError(f"stream {name!r} already finished")
+        self._deliver(lane, row)
+
+    def seal(self, name: str, through: float) -> None:
+        """Promise no more rows with ``time <= through`` on one lane."""
+        lane = self._lanes[name]
+        lane.frontier = max(lane.frontier, float(through))
+        self._advance()
+
+    def seal_all(self, through: float) -> None:
+        """Advance every unfinished lane's frontier in one call."""
+        t = float(through)
+        for lane in self._lanes.values():
+            if not lane.done:
+                lane.frontier = max(lane.frontier, t)
+        self._advance()
+
+    def drop(self, name: str) -> None:
+        """A stream died or left: stop waiting for it.
+
+        Windows it already delivered still score; it just no longer
+        holds the fleet watermark back, and fused quorums are evaluated
+        over the streams that keep reporting.
+        """
+        lane = self._lanes[name]
+        stream = self._streams.get(name)
+        if stream is not None:
+            stream.finish()
+        else:
+            self._finish_lane(lane)
+
+    def finish(self) -> None:
+        """Fleet end: flush every lane and score the remaining buckets."""
+        for stream in self._streams.values():
+            stream.finish()
+        for lane in self._lanes.values():
+            if not lane.done:
+                self._finish_lane(lane)
+
+    # ------------------------------------------------------------------
+    # The multiplexer core
+    # ------------------------------------------------------------------
+    @property
+    def n_streams(self) -> int:
+        """Registered lanes (tap-fed + externally fed)."""
+        return len(self._lanes)
+
+    @property
+    def windows(self) -> int:
+        """Windows scored so far across the whole fleet."""
+        return sum(len(lane.scores) for lane in self._lanes.values())
+
+    def _deliver(self, lane: _Lane, row: WindowRow) -> None:
+        """Buffer one closed window into its tick bucket."""
+        t = float(row.time)
+        if t <= self._finalized_through:
+            raise ValueError(
+                f"stream {lane.name!r} delivered a window at {t} after its "
+                f"tick was finalised (watermark {self._finalized_through}); "
+                f"seal lanes only once their rows are in"
+            )
+        bucket = self._buckets.get(t)
+        if bucket is None:
+            self._buckets[t] = bucket = []
+            heapq.heappush(self._heap, t)
+        bucket.append((lane, row))
+
+    def _finish_lane(self, lane: _Lane) -> None:
+        lane.done = True
+        self._advance()
+
+    def _watermark(self) -> float:
+        """Min frontier over active lanes (+inf once all are done)."""
+        active = [
+            lane.frontier for lane in self._lanes.values() if not lane.done
+        ]
+        return min(active) if active else float("inf")
+
+    def _advance(self) -> None:
+        """Finalise every bucket the whole fleet has moved past."""
+        if not self._heap:
+            return
+        watermark = self._watermark()
+        while self._heap and self._heap[0] < watermark:
+            t = heapq.heappop(self._heap)
+            self._finalized_through = t
+            self._score_bucket(t, self._buckets.pop(t))
+
+    def _score_bucket(self, t: float, entries: list[tuple[_Lane, WindowRow]]) -> None:
+        """One vectorized scoring call for all windows closing at ``t``."""
+        X = np.vstack([row.features for _, row in entries])
+        t0 = _time.perf_counter()
+        scores = self.model.normality_score(X, self.method)
+        latency = _time.perf_counter() - t0
+        self.batch_sizes.append(len(entries))
+        if self.on_batch is not None:
+            self.on_batch(len(entries), latency)
+
+        alarming: list[tuple[_Lane, float]] = []
+        for (lane, row), score in zip(entries, scores):
+            s = float(score)
+            lane.times.append(row.time)
+            lane.scores.append(s)
+            lane.latencies.append(latency)
+            if s < self.threshold:
+                alarm = Alarm(
+                    index=row.index,
+                    time=row.time,
+                    score=s,
+                    threshold=self.threshold,
+                    monitor=lane.monitor,
+                    latency_s=latency,
+                    stream=lane.name,
+                )
+                lane.alarms.append(alarm)
+                alarming.append((lane, s))
+                if self.on_alarm is not None:
+                    self.on_alarm(alarm)
+
+        reporting = len(entries)
+        needed = needed_votes(self.quorum, reporting)
+        if len(alarming) >= needed:
+            fused = FleetAlarm(
+                time=t,
+                streams=tuple(lane.name for lane, _ in alarming),
+                scores=tuple(s for _, s in alarming),
+                reporting=reporting,
+                needed=needed,
+                threshold=self.threshold,
+                latency_s=latency,
+            )
+            self.fused.append(fused)
+            if self.on_fused is not None:
+                self.on_fused(fused)
+
+    # ------------------------------------------------------------------
+    def result(
+        self,
+        labels: "Mapping[str, np.ndarray] | None" = None,
+        elapsed_s: float = 0.0,
+    ) -> FleetResult:
+        """Freeze the run into a :class:`FleetResult`.
+
+        ``labels`` optionally maps lane names to per-window ground
+        truth (lanes without an entry default to all-normal, like
+        :meth:`OnlineDetector.result`).
+        """
+        streams: dict[str, StreamResult] = {}
+        for name, lane in self._lanes.items():
+            latencies = np.asarray(lane.latencies, dtype=float)
+            lane_labels = labels.get(name) if labels is not None else None
+            streams[name] = StreamResult(
+                monitor=lane.monitor,
+                threshold=self.threshold,
+                method=self.method,
+                times=np.asarray(lane.times, dtype=float),
+                scores=np.asarray(lane.scores, dtype=float),
+                labels=(
+                    np.asarray(lane_labels, dtype=bool)
+                    if lane_labels is not None
+                    else np.zeros(len(lane.scores), dtype=bool)
+                ),
+                alarms=list(lane.alarms),
+                windows=len(lane.scores),
+                elapsed_s=elapsed_s,
+                mean_latency_s=float(latencies.mean()) if len(latencies) else 0.0,
+                max_latency_s=float(latencies.max()) if len(latencies) else 0.0,
+            )
+        return FleetResult(
+            threshold=self.threshold,
+            method=self.method,
+            quorum=self.quorum,
+            streams=streams,
+            fused=list(self.fused),
+            batch_sizes=list(self.batch_sizes),
+            elapsed_s=elapsed_s,
+        )

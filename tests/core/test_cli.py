@@ -22,6 +22,23 @@ class TestParser:
         assert args.attack == "blackhole"
         assert args.method == "avg_probability"
 
+    def test_fleet_arguments(self):
+        args = build_parser().parse_args(
+            ["fleet", "--monitors", "4", "--quorum", "0.5", "--normal"]
+        )
+        assert args.monitors == 4
+        assert args.quorum == "0.5"  # parsed int-vs-fraction in cmd_fleet
+        assert args.normal is True
+        args = build_parser().parse_args(["fleet"])
+        assert args.monitors is None
+        assert args.quorum == "1"
+        assert args.classifier == "c45"
+
+    def test_bench_fleet_suite_accepted(self):
+        args = build_parser().parse_args(["bench", "--suite", "fleet", "--quick"])
+        assert args.suite == "fleet"
+        assert args.quick is True
+
     def test_unknown_classifier_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["detect", "--classifier", "svm"])

@@ -22,10 +22,16 @@ class TestTopLevelApi:
                      "ScenarioConfig", "RuntimeMetrics"):
             assert name in repro.__all__, name
 
-    def test_legacy_helpers_still_exported(self):
-        """Deprecated pre-Session entry points remain importable."""
+    def test_legacy_helpers_removed_with_migration_hint(self):
+        """The pre-Session wrappers are gone from the top level, and the
+        ImportError from their old home names the Session replacement."""
         for name in ("cached_bundle", "cached_result", "simulate_bundle"):
-            assert name in repro.__all__, name
+            assert name not in repro.__all__, name
+            assert not hasattr(repro, name), name
+        import repro.eval.experiments as experiments
+
+        with pytest.raises(ImportError, match="Session"):
+            experiments.cached_result
 
     def test_classifier_registry_complete(self):
         assert set(repro.CLASSIFIERS) == {"c45", "ripper", "nbc"}
@@ -38,6 +44,77 @@ class TestTopLevelApi:
             and not inspect.getdoc(getattr(repro, name))
         ]
         assert undocumented == []
+
+    def test_top_level_import_surface_is_exact(self):
+        """``repro.__all__`` is a consolidated, sorted, duplicate-free
+        contract — additions and removals must update this list."""
+        assert repro.__all__ == sorted(set(repro.__all__))
+        assert repro.__all__ == [
+            "Alarm",
+            "ArtifactCache",
+            "C45Classifier",
+            "CLASSIFIERS",
+            "CrossFeatureDetector",
+            "CrossFeatureModel",
+            "DetectionResult",
+            "EqualFrequencyDiscretizer",
+            "ExperimentPlan",
+            "FeatureDataset",
+            "FleetAlarm",
+            "FleetDetector",
+            "FleetResult",
+            "FleetStream",
+            "NaiveBayesClassifier",
+            "OnlineDetector",
+            "RegressionCrossFeatureModel",
+            "RipperClassifier",
+            "RuntimeMetrics",
+            "ScenarioConfig",
+            "Session",
+            "SimulationTrace",
+            "StreamResult",
+            "StreamingExtractor",
+            "TraceBundle",
+            "TraceEvent",
+            "TwoNodeExample",
+            "average_match_count",
+            "average_probability",
+            "default_session",
+            "extract_features",
+            "four_scenarios",
+            "replay_trace",
+            "run_detection_experiment",
+            "run_scenario",
+            "select_threshold",
+        ]
+
+    def test_stream_import_surface_is_exact(self):
+        import repro.stream as stream
+
+        assert stream.__all__ == sorted(set(stream.__all__))
+        assert stream.__all__ == [
+            "Alarm",
+            "DEFAULT_MONITOR",
+            "DEFAULT_QUORUM",
+            "DEFAULT_WARMUP",
+            "EventRing",
+            "FleetAlarm",
+            "FleetDetector",
+            "FleetResult",
+            "FleetStream",
+            "OnlineDetector",
+            "RouteLengthRing",
+            "StreamResult",
+            "StreamingExtractor",
+            "WindowRow",
+            "extractor_for_config",
+            "needed_votes",
+            "replay_trace",
+            "resolve_threshold",
+            "validate_quorum",
+        ]
+        for name in stream.__all__:
+            assert hasattr(stream, name), name
 
     def test_subpackage_apis(self):
         from repro.attacks import (BlackholeAttack, ImpersonationAttack,

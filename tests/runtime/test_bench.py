@@ -70,3 +70,24 @@ class TestModelBenchQuick:
         fit_entry = next(e for e in payload["entries"] if e["name"] == "fit/ensemble")
         # The identity assert ran in-harness; the entry records the contract.
         assert "identical" in fit_entry["identity"]
+
+
+class TestFleetBenchQuick:
+    def test_quick_fleet_bench_runs_and_verifies(self):
+        """The quick fleet suite asserts per-lane bit-identity against the
+        one-shot batch score matrix before any timing is reported."""
+        from repro.runtime.bench import run_fleet_bench
+
+        payload = run_fleet_bench(quick=True)
+        assert payload["suite"] == "fleet"
+        names = {e["name"] for e in payload["entries"]}
+        assert names == {"fleet/1streams", "fleet/64streams", "fleet/1024streams"}
+        for e in payload["entries"]:
+            assert e["kind"] == "multiplex"
+            assert e["windows"] == e["n_streams"] * e["ticks"]
+            assert e["optimized_seconds"] > 0
+            assert "bit-identical" in e["identity"]
+            # The capped baseline is honest about extrapolating.
+            assert e["baseline_extrapolated"] == (
+                e["baseline_measured_windows"] < e["windows"]
+            )

@@ -154,36 +154,34 @@ class TestMetricsHook:
         assert any("attack" in e.label for e in simulated)
 
 
-class TestLegacyWrappers:
-    def test_cached_bundle_warns_but_works(self):
-        from repro.eval.experiments import cached_bundle
+class TestRemovedLegacyWrappers:
+    """The pre-Session helpers are gone; importing them names the migration."""
 
-        with pytest.warns(DeprecationWarning, match="Session"):
-            bundle = cached_bundle(TINY_PLAN)
-        assert len(bundle.train) > 0
+    @pytest.mark.parametrize("name", ["cached_bundle", "cached_result",
+                                      "simulate_bundle"])
+    def test_removed_helper_import_names_the_replacement(self, name):
+        import repro.eval.experiments as experiments
 
-    def test_cached_result_warns_but_works(self):
-        from repro.eval.experiments import cached_result
+        with pytest.raises(ImportError, match="Session"):
+            getattr(experiments, name)
 
-        with pytest.warns(DeprecationWarning, match="Session"):
-            result = cached_result(TINY_PLAN, classifier="nbc")
-        assert np.isfinite(result.scores).all()
+    def test_from_import_raises_import_error_too(self):
+        with pytest.raises(ImportError, match="Session"):
+            from repro.eval.experiments import cached_bundle  # noqa: F401
 
-    def test_simulate_bundle_warns_but_works(self):
-        from repro.eval.experiments import simulate_bundle
+    def test_unknown_attribute_still_raises_attribute_error(self):
+        import repro.eval.experiments as experiments
 
-        with pytest.warns(DeprecationWarning, match="Session"):
-            bundle = simulate_bundle(TINY_PLAN)
-        assert len(bundle.train) > 0
+        with pytest.raises(AttributeError, match="no attribute"):
+            experiments.not_a_helper
 
-    def test_legacy_helpers_share_the_default_session(self):
-        from repro.eval.experiments import cached_bundle
+    def test_surviving_helpers_share_the_default_session(self):
+        from repro.eval.experiments import cached_raw_traces
         from repro.runtime import default_session
 
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            bundle = cached_bundle(TINY_PLAN)
-        assert bundle is default_session().bundle(TINY_PLAN)
+        raw = cached_raw_traces(TINY_PLAN)
+        again = default_session().raw_traces(TINY_PLAN)
+        assert raw.train[0] is again.train[0]  # same memoised simulations
 
 
 class TestRuntimeConfiguration:
