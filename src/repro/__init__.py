@@ -45,11 +45,14 @@ from repro.runtime import ArtifactCache, RuntimeMetrics, Session, TraceEvent, de
 from repro.simulation import ScenarioConfig, SimulationTrace, run_scenario
 from repro.stream import (
     Alarm,
+    CheckpointError,
     FleetAlarm,
     FleetDetector,
     FleetResult,
     FleetStream,
     OnlineDetector,
+    StreamFault,
+    StreamFaultPlan,
     StreamingExtractor,
     StreamResult,
     replay_trace,
@@ -62,6 +65,7 @@ __all__ = [
     "ArtifactCache",
     "C45Classifier",
     "CLASSIFIERS",
+    "CheckpointError",
     "CrossFeatureDetector",
     "CrossFeatureModel",
     "DetectionResult",
@@ -80,6 +84,8 @@ __all__ = [
     "ScenarioConfig",
     "Session",
     "SimulationTrace",
+    "StreamFault",
+    "StreamFaultPlan",
     "StreamResult",
     "StreamingExtractor",
     "TraceBundle",

@@ -12,6 +12,13 @@ Usage examples::
     # Online detection: train offline, stream a live attack scenario
     python -m repro stream --protocol aodv --transport udp --duration 1000
 
+    # Durable streaming: checkpoint as the run goes, resume after a kill
+    python -m repro stream --checkpoint run.ckpt --checkpoint-every 8
+    python -m repro stream --resume run.ckpt --checkpoint run.ckpt
+
+    # Degraded input: quarantine bad rows instead of trusting them
+    python -m repro fleet --row-policy quarantine --stall-timeout 30
+
     # Fleet detection: every non-attacker node monitored at once, all
     # windows closing on a tick scored in one batch, alarms fused k-of-n
     python -m repro fleet --protocol aodv --transport udp --quorum 2
@@ -75,6 +82,36 @@ def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--inject-faults", default=None, help=argparse.SUPPRESS)
 
 
+def _add_durability_args(parser: argparse.ArgumentParser) -> None:
+    """Durable-run flags shared by the stream and fleet commands."""
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="snapshot the full streaming state to FILE during the run "
+             "(atomic, fingerprinted; see repro.stream.durability)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, metavar="N",
+        help="checkpoint cadence in sampling ticks (default: 16)",
+    )
+    parser.add_argument(
+        "--resume", default=None, metavar="FILE",
+        help="restore FILE before streaming and replay only the "
+             "remainder; a corrupted checkpoint fails loudly",
+    )
+    parser.add_argument(
+        "--row-policy", choices=["strict", "quarantine"], default=None,
+        help="degraded-input policy: 'strict' trusts every row, "
+             "'quarantine' routes late/duplicate/NaN/out-of-range rows "
+             "to typed fault records instead of scoring them "
+             "(default: strict)",
+    )
+    # Hidden stream-layer chaos hook, e.g.
+    # --inject-stream-faults drop-row:s0/n1:3,crash-lane:s0/n2:6
+    # (see repro.stream.faults.StreamFaultPlan.parse).
+    parser.add_argument("--inject-stream-faults", default=None,
+                        help=argparse.SUPPRESS)
+
+
 def _progress_printer(event) -> None:
     """Live per-trace progress lines, fed by the metrics hook."""
     if event.kind == "cache_hit":
@@ -91,6 +128,16 @@ def _progress_printer(event) -> None:
         print(f"  [ALARM]  {event.label}")
     elif event.kind == "fused_alarm":
         print(f"  [FUSED]  {event.label}")
+    elif event.kind == "stream_fault":
+        print(f"  [FAULT]  {event.label}")
+    elif event.kind == "lane_sealed":
+        print(f"  [SEAL]   {event.label}")
+    elif event.kind == "duplicate_seal":
+        print(f"  [SEAL]   {event.label} (duplicate, no-op)")
+    elif event.kind == "checkpoint":
+        print(f"  [CKPT]   saved {event.label}")
+    elif event.kind == "restore":
+        print(f"  [CKPT]   restored {event.label}")
     elif event.kind in ("fallback", "respawn", "task_failed", "pool_failed",
                         "cache_write_failed", "cache_off"):
         print(f"  [runtime] {event.label}")
@@ -222,6 +269,11 @@ def cmd_stream(args: argparse.Namespace) -> int:
         method=args.method,
         seed=args.stream_seed,
         attack=not args.normal,
+        row_policy=args.row_policy,
+        checkpoint=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume_from=args.resume,
+        stream_faults=args.inject_stream_faults,
     )
     print(f"stream                  : {result.summary()}")
     print(f"calibrated threshold    : {result.threshold:.3f}  ({result.method})")
@@ -279,11 +331,22 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         attack=not args.normal,
         monitors=monitors,
         quorum=quorum,
+        row_policy=args.row_policy,
+        stall_timeout=args.stall_timeout,
+        checkpoint=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume_from=args.resume,
+        stream_faults=args.inject_stream_faults,
     )
     print(f"fleet                   : {result.summary()}")
     print(f"calibrated threshold    : {result.threshold:.3f}  ({result.method})")
     print(f"fused alarms            : {len(result.fused)} "
           f"(quorum {result.quorum} over {result.n_streams} streams)")
+    if result.fault_records:
+        print(f"quarantined rows        : {len(result.fault_records)}")
+    if result.sealed:
+        reasons = ", ".join(f"{k}={v}" for k, v in sorted(result.sealed.items()))
+        print(f"sealed lanes            : {reasons}")
     print(f"runtime                 : {session.metrics.summary()}")
     _dump_metrics(session, args)
     return 0
@@ -319,6 +382,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         run_fleet_bench,
         run_model_bench,
         run_simulator_bench,
+        run_stream_chaos_bench,
         write_bench,
     )
 
@@ -331,6 +395,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         suites.append(("model", run_model_bench))
     if args.suite in ("fleet", "all"):
         suites.append(("fleet", run_fleet_bench))
+    if args.suite in ("stream-chaos", "all"):
+        suites.append(("stream_chaos", run_stream_chaos_bench))
     for name, runner in suites:
         print(f"benchmarking {name} ({'quick' if args.quick else 'full'}) ...")
         payload = runner(quick=args.quick)
@@ -405,6 +471,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="mobility seed of the streamed trace (default: the "
                             "plan's first attack seed, or first normal seed "
                             "with --normal)")
+    _add_durability_args(p_str)
     p_str.set_defaults(func=cmd_stream)
 
     p_flt = sub.add_parser(
@@ -433,6 +500,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fused-alarm vote: an integer is absolute k-of-n; "
                             "a fraction in (0,1] is a share of the streams "
                             "reporting on that tick (default: 1)")
+    _add_durability_args(p_flt)
+    p_flt.add_argument("--stall-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="seal a lane 'stalled' once its clock lags the "
+                            "most advanced lane of its scenario by more than "
+                            "this many simulation seconds (default: never)")
     p_flt.set_defaults(func=cmd_fleet)
 
     p_rep = sub.add_parser("report", help="compare all classifiers on one condition")
@@ -445,7 +518,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser(
         "bench", help="measure the kernel/model fast paths, write BENCH_*.json"
     )
-    p_bench.add_argument("--suite", choices=["simulator", "model", "fleet", "all"],
+    p_bench.add_argument("--suite",
+                         choices=["simulator", "model", "fleet",
+                                  "stream-chaos", "all"],
                          default="all")
     p_bench.add_argument("--quick", action="store_true",
                          help="CI-scale workloads (seconds instead of minutes)")

@@ -26,15 +26,17 @@
   supervision counters plus the live progress hook;
 * :func:`~repro.runtime.bench.run_simulator_bench` /
   :func:`~repro.runtime.bench.run_model_bench` /
-  :func:`~repro.runtime.bench.run_fleet_bench` — the benchmark harness
-  behind ``python -m repro bench`` and the committed ``BENCH_*.json``
-  baselines.
+  :func:`~repro.runtime.bench.run_fleet_bench` /
+  :func:`~repro.runtime.bench.run_stream_chaos_bench` — the benchmark
+  harness behind ``python -m repro bench`` and the committed
+  ``BENCH_*.json`` baselines.
 """
 
 from repro.runtime.bench import (
     run_fleet_bench,
     run_model_bench,
     run_simulator_bench,
+    run_stream_chaos_bench,
     write_bench,
 )
 from repro.runtime.cache import (
@@ -77,6 +79,7 @@ __all__ = [
     "run_fleet_bench",
     "run_model_bench",
     "run_simulator_bench",
+    "run_stream_chaos_bench",
     "set_default_session",
     "stable_key",
     "write_bench",

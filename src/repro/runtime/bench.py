@@ -30,6 +30,15 @@ by ``python -m repro bench``):
   so at large N it is measured on a capped row count and extrapolated
   (recorded as ``baseline_extrapolated``), keeping the suite CI-sized
   without distorting the ratio.
+* :func:`run_stream_chaos_bench` — stream durability.  Times a clean
+  streaming run against a checkpointed run that is killed mid-trace and
+  resumed (the resume *overhead* — a ratio below 1 is expected), and an
+  uninterrupted chaos fleet (injected lane crash + corrupt/duplicate/
+  dropped rows under ``row_policy="quarantine"``) against a killed and
+  resumed one.  The kill-anywhere resume contract and the
+  corrupt-checkpoint fingerprint check are asserted in-harness before
+  any number is recorded; survival stats (rows quarantined, lanes
+  sealed and why) ride the entries.
 
 Every entry records ``baseline_seconds`` (the pre-optimization path,
 which is kept in-tree as the reference implementation), ``optimized_seconds``
@@ -510,6 +519,213 @@ def run_fleet_bench(quick: bool = False, seed: int = 0) -> dict:
 
     return {
         "suite": "fleet",
+        "quick": quick,
+        "seed": seed,
+        "environment": _environment(),
+        "entries": entries,
+    }
+
+
+# ----------------------------------------------------------------------
+# stream-chaos suite
+# ----------------------------------------------------------------------
+def run_stream_chaos_bench(quick: bool = False, seed: int = 0) -> dict:
+    """Durability suite: kill/resume overhead + fleet survival under chaos.
+
+    Two legs over one small recorded scenario, both asserting the PR 7
+    resume contract in-harness before any number is trusted:
+
+    * **stream/resume** — one monitored stream is run clean, then run
+      again with checkpointing, killed abruptly mid-trace, restored from
+      the latest checkpoint and replayed to completion.  The interrupted
+      run's scores/alarms must be ``np.array_equal`` to the clean run's
+      (kill-anywhere resume contract); a deliberately corrupted copy of
+      the checkpoint must fail its restore with the fingerprint
+      mismatch named.  Baseline = clean wall-clock, optimized = kill +
+      restore + replay wall-clock (the resume *overhead* — expect a
+      speedup below 1).
+    * **fleet/chaos** — a quarantine-policy fleet rides the same trace
+      twice with an injected fault plan (a lane crash + corrupted and
+      duplicated rows on another lane): once uninterrupted, once killed
+      at a round boundary and resumed.  Both runs must agree exactly
+      (per-lane scores, fused alarm times, seal reasons), the run must
+      *complete* rather than raise, and lanes untouched by the plan
+      must score bit-identically to a clean no-fault fleet.  Survival
+      stats (rows quarantined, lanes sealed and why) ride the entry.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.core.model import CrossFeatureModel
+    from repro.features import extract_features
+    from repro.simulation.scenario import ScenarioConfig, run_scenario
+    from repro.stream.detector import OnlineDetector
+    from repro.stream.durability import (
+        CheckpointError,
+        load_stream_checkpoint,
+        run_durable_fleet,
+        run_durable_stream,
+    )
+    from repro.stream.extractor import extractor_for_config
+    from repro.stream.faults import StreamFaultPlan, apply_checkpoint_fault
+    from repro.stream.fleet import FleetDetector
+
+    duration = 40.0 if quick else 120.0
+    n_nodes = 8
+    config = ScenarioConfig(
+        protocol="aodv", n_nodes=n_nodes, duration=duration, seed=seed
+    )
+    trace = run_scenario(config)
+    dataset = extract_features(trace, monitor=0)
+    model = CrossFeatureModel()
+    model.fit(dataset.X)
+    method = "avg_probability"
+    threshold = float(np.median(model.normality_score(dataset.X, method)))
+
+    def stream_pair(ckpt=None, every=4, resume=None, stop=None):
+        online = OnlineDetector(model, threshold, method=method)
+        tap = extractor_for_config(config, monitor=0, on_row=online.consume,
+                                  keep_rows=False)
+        t0 = time.perf_counter()
+        _, finished = run_durable_stream(
+            trace, tap, online, checkpoint=ckpt, checkpoint_every=every,
+            resume_from=resume, stop_after_ticks=stop,
+        )
+        return online, time.perf_counter() - t0, finished
+
+    entries = []
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt = Path(tmp) / "stream.ckpt"
+
+        # -- stream/resume leg ---------------------------------------
+        clean, clean_s, finished = stream_pair()
+        assert finished
+        kill_at = max(2, clean.windows // 2)
+        _, killed_s, finished = stream_pair(ckpt=ckpt, stop=kill_at)
+        if finished or not ckpt.exists():
+            raise AssertionError("kill switch did not interrupt the stream run")
+        resumed, resumed_s, finished = stream_pair(ckpt=ckpt, resume=ckpt)
+        if not finished:
+            raise AssertionError("resumed stream run did not complete")
+        if not np.array_equal(np.asarray(resumed.scores), np.asarray(clean.scores)):
+            raise AssertionError(
+                "kill-anywhere contract violated: resumed scores diverged"
+            )
+        if [(a.index, a.time) for a in resumed.alarms] != \
+                [(a.index, a.time) for a in clean.alarms]:
+            raise AssertionError(
+                "kill-anywhere contract violated: resumed alarms diverged"
+            )
+        # A damaged checkpoint must never restore silently.
+        damaged = Path(tmp) / "damaged.ckpt"
+        damaged.write_bytes(ckpt.read_bytes())
+        apply_checkpoint_fault(damaged, StreamFaultPlan.parse("ckpt-corrupt:0").specs[0])
+        probe = OnlineDetector(model, threshold, method=method)
+        probe_tap = extractor_for_config(config, monitor=0, on_row=probe.consume)
+        try:
+            load_stream_checkpoint(damaged, probe_tap, probe)
+        except CheckpointError as exc:
+            if "fingerprint mismatch" not in str(exc):
+                raise AssertionError(
+                    f"corrupt checkpoint failed without naming the "
+                    f"fingerprint mismatch: {exc}"
+                ) from exc
+        else:
+            raise AssertionError("corrupt checkpoint restored silently")
+        entries.append(_entry(
+            "stream/resume",
+            clean_s,
+            killed_s + resumed_s,
+            kind="durability",
+            windows=clean.windows,
+            kill_at_tick=kill_at,
+            checkpoint_every=4,
+            identity="resumed scores/alarms np.array_equal to the clean run",
+        ))
+
+        # -- fleet/chaos leg -----------------------------------------
+        monitors = (0, 1, 2, 3)
+        plan = StreamFaultPlan.parse(
+            "crash-lane:s0/n1:3,corrupt-row:s0/n2:2,dup-row:s0/n2:4,"
+            "drop-row:s0/n3:1"
+        )
+
+        def make_fleet(faults):
+            fleet = FleetDetector(
+                model, threshold, method=method,
+                row_policy="quarantine", stall_timeout=4 * config.sampling_period,
+                faults=faults,
+            )
+            for m in monitors:
+                fleet.add_stream(m, sampling_period=config.sampling_period)
+            return fleet
+
+        clean_fleet = make_fleet(None)
+        run_durable_fleet({"s0": trace}, clean_fleet)
+
+        chaos_fleet = make_fleet(plan)
+        t0 = time.perf_counter()
+        run_durable_fleet({"s0": trace}, chaos_fleet)
+        chaos_s = time.perf_counter() - t0
+
+        fckpt = Path(tmp) / "fleet.ckpt"
+        killed_fleet = make_fleet(plan)
+        t0 = time.perf_counter()
+        _, finished = run_durable_fleet(
+            {"s0": trace}, killed_fleet, checkpoint=fckpt, checkpoint_every=2,
+            stop_after_rounds=6,
+        )
+        if finished or not fckpt.exists():
+            raise AssertionError("kill switch did not interrupt the fleet run")
+        resumed_fleet = make_fleet(plan)
+        _, finished = run_durable_fleet(
+            {"s0": trace}, resumed_fleet, resume_from=fckpt,
+        )
+        resumed_fleet_s = time.perf_counter() - t0
+        if not finished:
+            raise AssertionError("resumed fleet run did not complete")
+
+        for name, lane in chaos_fleet._lanes.items():
+            if not np.array_equal(
+                np.asarray(resumed_fleet._lanes[name].scores),
+                np.asarray(lane.scores),
+            ):
+                raise AssertionError(
+                    f"fleet kill-anywhere contract violated on lane {name}"
+                )
+        if [f.time for f in resumed_fleet.fused] != \
+                [f.time for f in chaos_fleet.fused]:
+            raise AssertionError("resumed fleet fused alarms diverged")
+        if resumed_fleet.sealed != chaos_fleet.sealed:
+            raise AssertionError("resumed fleet seal reasons diverged")
+        # Lanes the plan never touches score exactly as in a clean fleet.
+        if not np.array_equal(
+            np.asarray(chaos_fleet._lanes["s0/n0"].scores),
+            np.asarray(clean_fleet._lanes["s0/n0"].scores),
+        ):
+            raise AssertionError("untouched lane diverged under injected chaos")
+
+        entries.append(_entry(
+            "fleet/chaos",
+            chaos_s,
+            resumed_fleet_s,
+            kind="durability",
+            n_streams=len(monitors),
+            windows=sum(len(l.scores) for l in chaos_fleet._lanes.values()),
+            quarantined=len(chaos_fleet.fault_records),
+            sealed={k: v for k, v in sorted(chaos_fleet.sealed.items())},
+            fused_alarms=len(chaos_fleet.fused),
+            fault_plan=[
+                f"{s.kind}:{s.lane}:{s.index}" for s in plan.specs
+            ],
+            identity=(
+                "interrupted+resumed chaos fleet equals the uninterrupted "
+                "run; untouched lanes equal the fault-free fleet"
+            ),
+        ))
+
+    return {
+        "suite": "stream-chaos",
         "quick": quick,
         "seed": seed,
         "environment": _environment(),

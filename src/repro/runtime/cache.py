@@ -136,6 +136,31 @@ def stable_key(payload: Any, version: str | None = None) -> str:
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically and durably.
+
+    Bytes land in a temp file in the *same directory* (same filesystem,
+    so the rename is atomic), are fsync-ed, then ``os.replace``-d into
+    place: a reader never observes a half-written file, and a crash
+    between write and rename leaves the old content intact.  The cache
+    and the stream checkpoint writer share this path.
+    """
+    path = Path(path)
+    tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink(missing_ok=True)
+        except OSError:  # pragma: no cover - read-only dir refuses unlink too
+            pass
+        raise
+
+
 def default_cache_dir() -> Path:
     """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
     ``~/.cache/repro``."""
@@ -245,23 +270,17 @@ class ArtifactCache:
         if self.writes_disabled:
             return False
         path = self._path(key)
-        tmp = self.dir / f".{key}.{os.getpid()}.tmp"
         try:
             if fault is not None and fault.kind == "cache-enospc":
                 raise OSError(errno.ENOSPC, "injected: no space left on device")
             if fault is not None and fault.kind == "cache-corrupt":
                 # A torn write: bytes land on disk but are not a pickle.
-                tmp.write_bytes(b"\x00injected corrupt artifact")
+                atomic_write_bytes(path, b"\x00injected corrupt artifact")
             else:
-                tmp.write_bytes(
-                    pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
+                atomic_write_bytes(
+                    path, pickle.dumps(artifact, protocol=pickle.HIGHEST_PROTOCOL)
                 )
-            os.replace(tmp, path)
         except (OSError, pickle.PicklingError) as exc:
-            try:
-                tmp.unlink(missing_ok=True)
-            except OSError:  # pragma: no cover - read-only dir refuses unlink too
-                pass
             self._consecutive_write_failures += 1
             if self.metrics is not None:
                 self.metrics.record_cache_write_failure(

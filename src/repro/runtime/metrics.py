@@ -58,6 +58,18 @@ class TraceEvent:
     * ``"fleet_batch"`` — the fleet scored one tick's window bucket in
       a single vectorized call (``label`` holds the batch size,
       ``seconds`` the call's wall-clock);
+    * ``"stream_fault"`` — a quarantine-mode detector caught a degraded
+      row (late / duplicate / NaN / out-of-range; ``label`` names the
+      lane, kind and row);
+    * ``"lane_sealed"`` — a fleet lane was abnormally sealed (``label``
+      holds ``"<lane>: <reason>"`` — dropped / stalled / faulted /
+      crashed);
+    * ``"duplicate_seal"`` — a seal or drop hit an already-finished
+      lane and was counted as an idempotent no-op;
+    * ``"checkpoint"`` — a durable streaming run snapshot its state to
+      disk (``label`` holds the replay position);
+    * ``"restore"`` — a durable streaming run restored a checkpoint and
+      resumed (``label`` holds the restored position);
     * ``"stage"`` — a pipeline stage finished (``label`` holds the stage
       name — ``simulate`` / ``extract`` / ``fit`` / ``score`` /
       ``stream`` / ``fleet`` — and ``seconds`` its wall-clock).
@@ -98,6 +110,11 @@ class RuntimeMetrics:
         self.fused_alarms = 0
         self.fleet_batches = 0
         self.fleet_windows = 0
+        self.stream_faults = 0
+        self.lanes_sealed = 0
+        self.duplicate_seals = 0
+        self.checkpoints = 0
+        self.restores = 0
         #: (label, wall-clock seconds) per simulated trace, completion order.
         self.trace_seconds: list[tuple[str, float]] = []
         #: Accumulated wall-clock per pipeline stage (``simulate`` /
@@ -198,6 +215,32 @@ class RuntimeMetrics:
         self.fleet_windows += int(size)
         self._emit("fleet_batch", str(int(size)), seconds)
 
+    # -- durability ------------------------------------------------------
+    def record_stream_fault(self, label: str = "") -> None:
+        """A quarantine-mode detector caught and recorded a degraded row."""
+        self.stream_faults += 1
+        self._emit("stream_fault", label)
+
+    def record_lane_sealed(self, label: str = "") -> None:
+        """A fleet lane was abnormally sealed (dropped/stalled/faulted/crashed)."""
+        self.lanes_sealed += 1
+        self._emit("lane_sealed", label)
+
+    def record_duplicate_seal(self, label: str = "") -> None:
+        """A seal/drop hit an already-finished lane: counted, not raised."""
+        self.duplicate_seals += 1
+        self._emit("duplicate_seal", label)
+
+    def record_checkpoint(self, label: str = "") -> None:
+        """A durable streaming run snapshot its state to disk."""
+        self.checkpoints += 1
+        self._emit("checkpoint", label)
+
+    def record_restore(self, label: str = "") -> None:
+        """A durable streaming run restored a checkpoint and resumed."""
+        self.restores += 1
+        self._emit("restore", label)
+
     # -- stage timing ----------------------------------------------------
     def record_stage(self, stage: str, seconds: float) -> None:
         """Accumulate wall-clock into a named pipeline stage."""
@@ -230,6 +273,11 @@ class RuntimeMetrics:
         self.fused_alarms = 0
         self.fleet_batches = 0
         self.fleet_windows = 0
+        self.stream_faults = 0
+        self.lanes_sealed = 0
+        self.duplicate_seals = 0
+        self.checkpoints = 0
+        self.restores = 0
         self.trace_seconds = []
         self.stage_seconds = {}
 
@@ -262,6 +310,16 @@ class RuntimeMetrics:
                 f"{self.fleet_windows} fleet windows in "
                 f"{self.fleet_batches} batches"
             )
+        if self.stream_faults:
+            extras.append(f"{self.stream_faults} rows quarantined")
+        if self.lanes_sealed:
+            extras.append(f"{self.lanes_sealed} lanes sealed")
+        if self.duplicate_seals:
+            extras.append(f"{self.duplicate_seals} duplicate seals")
+        if self.checkpoints:
+            extras.append(f"{self.checkpoints} checkpoints")
+        if self.restores:
+            extras.append(f"{self.restores} restored")
         if self.stage_seconds:
             stages = " ".join(
                 f"{k}={v:.1f}s" for k, v in sorted(self.stage_seconds.items())

@@ -53,6 +53,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.model import CrossFeatureDetector
     from repro.simulation.scenario import ScenarioConfig, SimulationTrace
     from repro.stream.detector import Alarm, StreamResult
+    from repro.stream.faults import StreamFault, StreamFaultPlan
     from repro.stream.fleet import FleetAlarm, FleetResult
 
 #: File name of the sweep resume journal inside the cache directory.
@@ -431,6 +432,11 @@ class Session:
         n_buckets: int = 5,
         n_jobs: int | None = 1,
         on_alarm: "Callable[[Alarm], None] | None" = None,
+        row_policy: str | None = None,
+        checkpoint: "str | os.PathLike | None" = None,
+        checkpoint_every: int | None = None,
+        resume_from: "str | os.PathLike | None" = None,
+        stream_faults: "StreamFaultPlan | str | None" = None,
     ) -> "StreamResult":
         """Online detection: train offline, then score a *live* scenario.
 
@@ -453,21 +459,40 @@ class Session:
         attack:
             ``False`` streams an intrusion-free trace instead (expected
             alarm rate ≈ the calibrated false-alarm rate).
-        monitor, warmup, threshold, on_alarm:
+        monitor, warmup, threshold, on_alarm, row_policy:
             The shared construction keywords (see
             :mod:`repro.stream.config`); ``None`` defaults to the plan's
-            monitor / warmup and the calibrated threshold.
+            monitor / warmup, the calibrated threshold and the shared
+            row policy.
+        checkpoint, checkpoint_every, resume_from:
+            Durable-run knobs (see :mod:`repro.stream.durability`):
+            ``checkpoint`` snapshots the full streaming state every
+            ``checkpoint_every`` sampling ticks; ``resume_from``
+            restores such a snapshot and continues, with scores and
+            alarms bit-identical to the uninterrupted run.
+        stream_faults:
+            A :class:`~repro.stream.faults.StreamFaultPlan` (or its
+            mini-language string) of injected row / crash / checkpoint
+            faults — the chaos-testing path.
 
-        The streamed run itself bypasses the artifact cache: taps consume
-        events as they happen, so the trace is simulated fresh (timed as
-        the ``stream`` stage).  Ground-truth labels are attached post hoc
-        from the completed trace under the plan's label policy.
+        A plain live run (no durability knobs) bypasses the artifact
+        cache: taps consume events as they happen, so the trace is
+        simulated fresh (timed as the ``stream`` stage).  A *durable*
+        run — any of ``checkpoint`` / ``resume_from`` /
+        ``stream_faults`` set — instead records (or loads) the trace
+        through the cache + executor and replays it, because the resume
+        contract is anchored in the replay's deterministic dispatch
+        order (the PR 4 live==replay contract keeps the scores
+        bit-identical either way).  Ground-truth labels are attached
+        post hoc from the completed trace under the plan's label policy.
         """
         import numpy as np
 
         from repro.simulation.scenario import run_scenario
         from repro.stream.detector import OnlineDetector
+        from repro.stream.durability import run_durable_stream
         from repro.stream.extractor import extractor_for_config
+        from repro.stream.faults import RowFaultInjector, StreamFaultPlan
 
         detector = self.fitted_detector(
             plan,
@@ -487,6 +512,13 @@ class Session:
             seed = plan.attack_seeds[0] if attack else plan.normal_seeds[0]
         config = plan.scenario_config(seed)
         attacks = plan.build_attacks() if attack else []
+        if isinstance(stream_faults, str):
+            stream_faults = StreamFaultPlan.parse(stream_faults)
+        durable = (
+            checkpoint is not None
+            or resume_from is not None
+            or stream_faults is not None
+        )
 
         def relay(alarm: "Alarm") -> None:
             self.metrics.record_alarm(
@@ -497,26 +529,58 @@ class Session:
             if on_alarm is not None:
                 on_alarm(alarm)
 
+        def relay_fault(fault: "StreamFault") -> None:
+            self.metrics.record_stream_fault(
+                f"{fault.stream or f'n{monitor}'} {fault.kind} "
+                f"row {fault.index} t={fault.time:g}: {fault.detail}"
+            )
+
         online = OnlineDetector.from_detector(
-            detector, threshold=threshold, monitor=monitor, on_alarm=relay
+            detector, threshold=threshold, monitor=monitor, on_alarm=relay,
+            row_policy=row_policy, on_fault=relay_fault,
+        )
+        injector = (
+            RowFaultInjector(stream_faults, f"n{monitor}", deliver=online.consume)
+            if stream_faults else None
         )
         tap = extractor_for_config(
             config,
             monitor=monitor,
             periods=plan.periods,
             warmup=warmup,
-            on_row=online.consume,
+            on_row=injector if injector is not None else online.consume,
             keep_rows=False,
         )
-        t0 = time.perf_counter()
-        trace = run_scenario(config, attacks=attacks, taps=[tap])
-        elapsed = time.perf_counter() - t0
+        if durable:
+            trace = self.trace(config, attacks, label=f"stream[{seed}]")
+            t0 = time.perf_counter()
+            run_durable_stream(
+                trace,
+                tap,
+                online,
+                injector,
+                checkpoint=checkpoint,
+                checkpoint_every=checkpoint_every,
+                resume_from=resume_from,
+                faults=stream_faults,
+                on_checkpoint=lambda p: self.metrics.record_checkpoint(str(p)),
+                on_restore=lambda p: self.metrics.record_restore(str(p)),
+            )
+            elapsed = time.perf_counter() - t0
+        else:
+            t0 = time.perf_counter()
+            trace = run_scenario(config, attacks=attacks, taps=[tap])
+            elapsed = time.perf_counter() - t0
         self.metrics.record_stage("stream", elapsed)
 
         ticks = np.asarray(trace.tick_times, dtype=float)
         labels = np.asarray(trace.window_labels(plan.label_policy), dtype=bool)
         if warmup > 0:
             labels = labels[ticks >= warmup]
+        if len(labels) != len(online.scores):
+            # Quarantined / dropped / crashed rows leave fewer scored
+            # windows than trace ticks; ground truth no longer aligns.
+            labels = np.zeros(len(online.scores), dtype=bool)
         return online.result(labels=labels, elapsed_s=elapsed)
 
     def fleet_detect(
@@ -536,6 +600,13 @@ class Session:
         n_jobs: int | None = 1,
         on_alarm: "Callable[[Alarm], None] | None" = None,
         on_fused: "Callable[[FleetAlarm], None] | None" = None,
+        row_policy: str | None = None,
+        max_consecutive_faults: int | None = None,
+        stall_timeout: float | None = None,
+        checkpoint: "str | os.PathLike | None" = None,
+        checkpoint_every: int | None = None,
+        resume_from: "str | os.PathLike | None" = None,
+        stream_faults: "StreamFaultPlan | str | None" = None,
     ) -> "FleetResult":
         """Fleet detection: one detector watching every node at once.
 
@@ -566,14 +637,33 @@ class Session:
             The shared construction keywords (see
             :mod:`repro.stream.config`); ``monitors=None`` watches every
             node except the plan's attacker.
+        row_policy, max_consecutive_faults, stall_timeout:
+            Degraded-input handling (see :mod:`repro.stream.config`);
+            ``None`` takes the shared defaults.  Quarantined rows,
+            auto-sealed lanes and duplicate seals surface as
+            ``"stream_fault"`` / ``"lane_sealed"`` /
+            ``"duplicate_seal"`` metrics events and ride the
+            :class:`~repro.stream.FleetResult`.
+        checkpoint, checkpoint_every, resume_from:
+            Durable-run knobs (see :mod:`repro.stream.durability`).
+        stream_faults:
+            Injected chaos — a :class:`~repro.stream.faults.StreamFaultPlan`
+            or its mini-language string.
 
-        The streamed runs bypass the artifact cache (timed as the
-        ``fleet`` stage); ground-truth labels are attached post hoc per
-        scenario under the plan's label policy.
+        Plain live runs bypass the artifact cache (timed as the
+        ``fleet`` stage); durable runs (any of ``checkpoint`` /
+        ``resume_from`` / ``stream_faults`` set) record the traces
+        through the cache and replay them round-robin (see
+        :func:`~repro.stream.durability.run_durable_fleet`).
+        Ground-truth labels are attached post hoc per scenario under the
+        plan's label policy.
         """
         import numpy as np
 
         from repro.simulation.scenario import run_scenario
+        from repro.stream.config import DEFAULT_MAX_FAULTS
+        from repro.stream.durability import run_durable_fleet
+        from repro.stream.faults import StreamFaultPlan
         from repro.stream.fleet import FleetDetector
 
         def relay_alarm(alarm: "Alarm") -> None:
@@ -595,11 +685,30 @@ class Session:
             if on_fused is not None:
                 on_fused(fused)
 
+        def relay_fault(fault: "StreamFault") -> None:
+            self.metrics.record_stream_fault(
+                f"{fault.stream} {fault.kind} row {fault.index} "
+                f"t={fault.time:g}: {fault.detail}"
+            )
+
+        def relay_seal(name: str, reason: str) -> None:
+            if reason == "duplicate":
+                self.metrics.record_duplicate_seal(name)
+            else:
+                self.metrics.record_lane_sealed(f"{name}: {reason}")
+
         if seeds is None:
             seeds = (plan.attack_seeds[0],) if attack else (plan.normal_seeds[0],)
         seeds = tuple(seeds)
         scenario_names = tuple(f"s{k}" for k in range(len(seeds)))
         warmup = plan.warmup if warmup is None else float(warmup)
+        if isinstance(stream_faults, str):
+            stream_faults = StreamFaultPlan.parse(stream_faults)
+        durable = (
+            checkpoint is not None
+            or resume_from is not None
+            or stream_faults is not None
+        )
 
         fleet = FleetDetector.from_session(
             self,
@@ -618,24 +727,65 @@ class Session:
             on_alarm=relay_alarm,
             on_fused=relay_fused,
             on_batch=self.metrics.record_fleet_batch,
+            row_policy=row_policy,
+            max_consecutive_faults=(
+                DEFAULT_MAX_FAULTS if max_consecutive_faults is None
+                else max_consecutive_faults
+            ),
+            stall_timeout=stall_timeout,
+            faults=stream_faults,
+            on_fault=relay_fault,
+            on_seal=relay_seal,
         )
 
         attacks = plan.build_attacks() if attack else []
         labels: dict[str, np.ndarray] = {}
-        t0 = time.perf_counter()
-        for name, seed in zip(scenario_names, seeds):
-            config = plan.scenario_config(seed)
-            taps = fleet.taps(name)
-            trace = run_scenario(config, attacks=attacks, taps=taps)
+
+        def scenario_truth(trace) -> np.ndarray:
             ticks = np.asarray(trace.tick_times, dtype=float)
             truth = np.asarray(trace.window_labels(plan.label_policy), dtype=bool)
-            if warmup > 0:
-                truth = truth[ticks >= warmup]
-            for tap in taps:
-                labels[tap.name] = truth
-        fleet.finish()
-        elapsed = time.perf_counter() - t0
+            return truth[ticks >= warmup] if warmup > 0 else truth
+
+        if durable:
+            traces: dict[str, "SimulationTrace"] = {}
+            for name, seed in zip(scenario_names, seeds):
+                config = plan.scenario_config(seed)
+                traces[name] = self.trace(config, attacks, label=f"fleet[{name}]")
+            t0 = time.perf_counter()
+            run_durable_fleet(
+                traces,
+                fleet,
+                checkpoint=checkpoint,
+                checkpoint_every=checkpoint_every,
+                resume_from=resume_from,
+                faults=stream_faults,
+                on_checkpoint=lambda r: self.metrics.record_checkpoint(str(r)),
+                on_restore=lambda r: self.metrics.record_restore(str(r)),
+            )
+            elapsed = time.perf_counter() - t0
+            for name, trace in traces.items():
+                truth = scenario_truth(trace)
+                for tap in fleet.taps(name):
+                    labels[tap.name] = truth
+        else:
+            t0 = time.perf_counter()
+            for name, seed in zip(scenario_names, seeds):
+                config = plan.scenario_config(seed)
+                taps = fleet.taps(name)
+                trace = run_scenario(config, attacks=attacks, taps=taps)
+                truth = scenario_truth(trace)
+                for tap in taps:
+                    labels[tap.name] = truth
+            fleet.finish()
+            elapsed = time.perf_counter() - t0
         self.metrics.record_stage("fleet", elapsed)
+        # Lanes that crashed, were sealed or quarantined rows hold fewer
+        # scored windows than trace ticks; drop misaligned ground truth.
+        for name, lane_labels in list(labels.items()):
+            stream_result = fleet._lanes.get(name)
+            if stream_result is not None and \
+                    len(lane_labels) != len(stream_result.scores):
+                del labels[name]
         return fleet.result(labels=labels, elapsed_s=elapsed)
 
     def sweep(

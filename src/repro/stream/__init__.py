@@ -22,6 +22,14 @@ scores are **bit-identical** to the batch
 the completed trace — and a fleet run is bit-identical to N independent
 :class:`OnlineDetector` runs (asserted end to end by ``tests/stream/``).
 
+Long-lived runs are *durable*: the full streaming state checkpoints to a
+fingerprinted file (:mod:`repro.stream.durability`) and a run killed at
+any tick restores + replays to bit-identical results; degraded input is
+governed by a ``row_policy`` (quarantine late / duplicate / NaN /
+out-of-range rows as typed :class:`StreamFault` records instead of
+raising), and :mod:`repro.stream.faults` injects deterministic row /
+lane-crash / checkpoint faults for chaos testing.
+
 Usage::
 
     from repro import ScenarioConfig, Session
@@ -39,23 +47,39 @@ Usage::
 """
 
 from repro.stream.config import (
+    DEFAULT_MAX_FAULTS,
     DEFAULT_MONITOR,
     DEFAULT_QUORUM,
+    DEFAULT_ROW_POLICY,
     DEFAULT_WARMUP,
     needed_votes,
     resolve_threshold,
     validate_quorum,
+    validate_row_policy,
 )
 from repro.stream.detector import Alarm, OnlineDetector, StreamResult
+from repro.stream.durability import (
+    CheckpointError,
+    load_fleet_checkpoint,
+    load_stream_checkpoint,
+    read_checkpoint,
+    save_fleet_checkpoint,
+    save_stream_checkpoint,
+    write_checkpoint,
+)
 from repro.stream.extractor import StreamingExtractor, WindowRow, extractor_for_config
+from repro.stream.faults import StreamFault, StreamFaultPlan, StreamFaultSpec
 from repro.stream.fleet import FleetAlarm, FleetDetector, FleetResult, FleetStream
 from repro.stream.replay import replay_trace
 from repro.stream.ring import EventRing, RouteLengthRing
 
 __all__ = [
     "Alarm",
+    "CheckpointError",
+    "DEFAULT_MAX_FAULTS",
     "DEFAULT_MONITOR",
     "DEFAULT_QUORUM",
+    "DEFAULT_ROW_POLICY",
     "DEFAULT_WARMUP",
     "EventRing",
     "FleetAlarm",
@@ -64,12 +88,22 @@ __all__ = [
     "FleetStream",
     "OnlineDetector",
     "RouteLengthRing",
+    "StreamFault",
+    "StreamFaultPlan",
+    "StreamFaultSpec",
     "StreamResult",
     "StreamingExtractor",
     "WindowRow",
     "extractor_for_config",
+    "load_fleet_checkpoint",
+    "load_stream_checkpoint",
     "needed_votes",
+    "read_checkpoint",
     "replay_trace",
     "resolve_threshold",
+    "save_fleet_checkpoint",
+    "save_stream_checkpoint",
     "validate_quorum",
+    "validate_row_policy",
+    "write_checkpoint",
 ]

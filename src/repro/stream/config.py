@@ -30,10 +30,30 @@ asserts the symmetry by introspection):
 ``on_alarm`` / ``on_fused``
     Callbacks invoked per-stream :class:`~repro.stream.detector.Alarm`
     and per fused :class:`~repro.stream.fleet.FleetAlarm` as they fire.
+``row_policy`` : str
+    What to do with degraded input rows (late / duplicate / NaN-bearing /
+    out-of-range).  ``"strict"`` (:data:`DEFAULT_ROW_POLICY`) keeps the
+    historical contract: trust the extractor, raise on protocol
+    violations.  ``"quarantine"`` routes bad rows to a typed
+    :class:`~repro.stream.faults.StreamFault` record instead of raising;
+    detection continues on the surviving rows.  Session methods default
+    to ``None`` = the shared default.
+``max_consecutive_faults`` : int
+    Quarantine-mode circuit breaker (:data:`DEFAULT_MAX_FAULTS`): a
+    fleet lane exceeding this many *consecutive* quarantined rows is
+    auto-sealed with reason ``"faulted"``.
+``stall_timeout`` : float | None
+    Fleet liveness bound, in simulation seconds: a lane whose frontier
+    lags the most advanced live lane by more than this is auto-sealed
+    with reason ``"stalled"``, so one wedged probe can never hold the
+    watermark (and every other lane's scoring) back forever.  ``None``
+    (default) waits indefinitely — the historical behaviour.
 
 The detector-training knobs (``classifier`` / ``method`` /
 ``false_alarm_rate`` / ``max_models`` / ``n_buckets`` / ``n_jobs``)
 follow :meth:`repro.runtime.Session.fitted_detector` unchanged.
+Durable-run knobs (``checkpoint`` / ``checkpoint_every`` /
+``resume_from``) are documented in :mod:`repro.stream.durability`.
 """
 
 from __future__ import annotations
@@ -48,6 +68,31 @@ DEFAULT_WARMUP = 0.0
 
 #: Default fusion policy: any one alarming stream raises the fused alarm.
 DEFAULT_QUORUM: int | float = 1
+
+#: The degraded-input policies a detector accepts.
+ROW_POLICIES = ("strict", "quarantine")
+
+#: Default degraded-input policy: raise, exactly as before PR 7.
+DEFAULT_ROW_POLICY = "strict"
+
+#: Quarantine circuit breaker: consecutive faulted rows before a lane
+#: is auto-sealed with reason ``"faulted"``.
+DEFAULT_MAX_FAULTS = 5
+
+#: Default checkpoint cadence for durable runs: snapshot every N
+#: dispatched sampling ticks.
+DEFAULT_CHECKPOINT_EVERY = 16
+
+
+def validate_row_policy(row_policy: str | None) -> str:
+    """Normalise a ``row_policy`` value (``None`` = the shared default)."""
+    if row_policy is None:
+        return DEFAULT_ROW_POLICY
+    if row_policy not in ROW_POLICIES:
+        raise ValueError(
+            f"row_policy must be one of {ROW_POLICIES}, got {row_policy!r}"
+        )
+    return row_policy
 
 
 def resolve_threshold(detector, threshold: float | None) -> float:

@@ -25,7 +25,9 @@ from typing import Callable
 import numpy as np
 
 from repro.core.model import CrossFeatureDetector, CrossFeatureModel
+from repro.stream.config import DEFAULT_ROW_POLICY, validate_row_policy
 from repro.stream.extractor import WindowRow
+from repro.stream.faults import StreamFault
 
 
 @dataclass(frozen=True)
@@ -109,6 +111,15 @@ class OnlineDetector:
         Node id stamped on emitted alarms.
     on_alarm:
         Callback invoked with each :class:`Alarm` as it fires.
+    row_policy:
+        Degraded-input policy (see :mod:`repro.stream.config`):
+        ``"strict"`` trusts the extractor and scores every row as
+        before; ``"quarantine"`` validates each row and routes late,
+        duplicate, NaN-bearing or out-of-range ones to
+        ``fault_records`` instead of scoring them.
+    on_fault:
+        Callback invoked with each quarantined
+        :class:`~repro.stream.faults.StreamFault`.
     """
 
     def __init__(
@@ -118,6 +129,8 @@ class OnlineDetector:
         method: str = "avg_probability",
         monitor: int = 0,
         on_alarm: Callable[[Alarm], None] | None = None,
+        row_policy: str = DEFAULT_ROW_POLICY,
+        on_fault: Callable[[StreamFault], None] | None = None,
     ):
         if model.discretizer is None:
             raise ValueError("model must be fitted before online detection")
@@ -126,10 +139,14 @@ class OnlineDetector:
         self.method = method
         self.monitor = monitor
         self.on_alarm = on_alarm
+        self.row_policy = validate_row_policy(row_policy)
+        self.on_fault = on_fault
         self.times: list[float] = []
         self.scores: list[float] = []
         self.latencies: list[float] = []
         self.alarms: list[Alarm] = []
+        self.fault_records: list[StreamFault] = []
+        self._last_index = -1
 
     @classmethod
     def from_detector(
@@ -138,6 +155,8 @@ class OnlineDetector:
         threshold: float | None = None,
         monitor: int = 0,
         on_alarm: Callable[[Alarm], None] | None = None,
+        row_policy: str = DEFAULT_ROW_POLICY,
+        on_fault: Callable[[StreamFault], None] | None = None,
     ) -> "OnlineDetector":
         """Wrap a fitted batch :class:`CrossFeatureDetector` unchanged.
 
@@ -155,6 +174,8 @@ class OnlineDetector:
             method=detector.method,
             monitor=monitor,
             on_alarm=on_alarm,
+            row_policy=row_policy,
+            on_fault=on_fault,
         )
 
     # ------------------------------------------------------------------
@@ -163,11 +184,50 @@ class OnlineDetector:
         """Windows scored so far."""
         return len(self.scores)
 
+    @property
+    def quarantined(self) -> int:
+        """Degraded rows quarantined so far (always 0 under ``strict``)."""
+        return len(self.fault_records)
+
+    def _classify_row(self, row: WindowRow) -> tuple[str, str] | None:
+        """The quarantine verdict for a degraded row, or ``None`` if clean."""
+        if np.isnan(row.features).any():
+            return "nan", "row carries NaN features"
+        if np.isinf(row.features).any():
+            return "out_of_range", "row carries non-finite features"
+        if not np.isfinite(row.time) or row.time < 0:
+            return "out_of_range", f"window time {row.time} is not a valid instant"
+        if self.times:
+            if row.time == self.times[-1] and row.index <= self._last_index:
+                return "duplicate", f"window at {row.time} was already scored"
+            if row.time < self.times[-1]:
+                return "late", (
+                    f"window at {row.time} arrived after one at {self.times[-1]}"
+                )
+        return None
+
+    def _quarantine(self, row: WindowRow, kind: str, detail: str) -> StreamFault:
+        """Record one quarantined row and notify the hook."""
+        fault = StreamFault(
+            stream="", kind=kind, index=row.index, time=row.time, detail=detail
+        )
+        self.fault_records.append(fault)
+        if self.on_fault is not None:
+            self.on_fault(fault)
+        return fault
+
     def consume(self, row: WindowRow) -> Alarm | None:
         """Score one closed window; return the alarm if one fires.
 
         Wire this as the :class:`StreamingExtractor`'s ``on_row`` hook.
+        Under ``row_policy="quarantine"`` a degraded row is recorded on
+        ``fault_records`` and *not* scored (returns ``None``).
         """
+        if self.row_policy == "quarantine":
+            verdict = self._classify_row(row)
+            if verdict is not None:
+                self._quarantine(row, *verdict)
+                return None
         t0 = _time.perf_counter()
         score = float(
             self.model.normality_score(row.features[None, :], self.method)[0]
@@ -176,6 +236,7 @@ class OnlineDetector:
         self.times.append(row.time)
         self.scores.append(score)
         self.latencies.append(latency)
+        self._last_index = row.index
         if score < self.threshold:
             alarm = Alarm(
                 index=row.index,
@@ -215,3 +276,34 @@ class OnlineDetector:
             mean_latency_s=float(latencies.mean()) if len(latencies) else 0.0,
             max_latency_s=float(latencies.max()) if len(latencies) else 0.0,
         )
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The detector's mutable run state (scores, alarms, quarantine).
+
+        The model/threshold/method construction knobs are not captured;
+        restore targets a detector built over the same trained model.
+        """
+        return {
+            "times": list(self.times),
+            "scores": list(self.scores),
+            "latencies": list(self.latencies),
+            "alarms": list(self.alarms),
+            "fault_records": list(self.fault_records),
+            "last_index": self._last_index,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot`, replacing all current run state.
+
+        Restored alarms and faults do *not* re-fire the ``on_alarm`` /
+        ``on_fault`` hooks — they already fired in the original run.
+        """
+        self.times = list(state["times"])
+        self.scores = list(state["scores"])
+        self.latencies = list(state["latencies"])
+        self.alarms = list(state["alarms"])
+        self.fault_records = list(state["fault_records"])
+        self._last_index = state["last_index"]

@@ -148,7 +148,12 @@ class StreamingExtractor:
     # Scenario-tap protocol
     # ------------------------------------------------------------------
     def bind(self, stats: NodeStats) -> None:
-        """Subscribe to a node's live trace log."""
+        """Subscribe to a node's live trace log.
+
+        Atomic: every validation runs before any state changes, so a
+        rejected bind leaves neither ``self._stats`` set nor a listener
+        subscribed on the :class:`NodeStats`.
+        """
         if self._stats is not None:
             raise RuntimeError("extractor is already bound to a NodeStats")
         if stats.node_id != self.monitor:
@@ -156,14 +161,21 @@ class StreamingExtractor:
                 f"extractor monitors node {self.monitor}, got stats for "
                 f"node {stats.node_id}"
             )
-        self._stats = stats
         stats.subscribe(self)
+        self._stats = stats
 
     def unbind(self) -> None:
-        """Detach from the bound node (e.g. after :meth:`finish`)."""
-        if self._stats is not None:
-            self._stats.unsubscribe(self)
-            self._stats = None
+        """Detach from the bound node (e.g. after :meth:`finish`).
+
+        Idempotent, and tolerant of a listener list the stats object
+        rebuilt (e.g. after pickling): both sides end up detached.
+        """
+        stats, self._stats = self._stats, None
+        if stats is not None:
+            try:
+                stats.unsubscribe(self)
+            except ValueError:
+                pass  # listener list was already rebuilt without us
 
     def on_tick(self, time: float, speed: float) -> None:
         """The scenario clock crossed a sampling instant."""
@@ -290,6 +302,46 @@ class StreamingExtractor:
         X = np.vstack([row.features for row in self.rows])
         times = np.array([row.time for row in self.rows], dtype=float)
         return X, times
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Full mutable extraction state (rings, pending tick, counters).
+
+        The construction knobs (monitor, periods, warmup, ...) are *not*
+        captured: restore targets an extractor built with the same knobs,
+        which :meth:`restore` verifies structurally.
+        """
+        return {
+            "traffic": {k: r.snapshot() for k, r in self._traffic.items()},
+            "route": {k: r.snapshot() for k, r in self._route.items()},
+            "route_length": self._route_length.snapshot(),
+            "pending": self._pending,
+            "last_event_time": self._last_event_time,
+            "emitted": self._emitted,
+            "windows_closed": self._windows_closed,
+            "rows": list(self.rows),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot` taken from a same-shaped extractor."""
+        if set(state["traffic"]) != set(self._traffic) or \
+                set(state["route"]) != set(self._route):
+            raise ValueError(
+                "snapshot does not match this extractor's ring layout "
+                "(different periods or feature grid)"
+            )
+        for key, ring_state in state["traffic"].items():
+            self._traffic[key].restore(ring_state)
+        for key, ring_state in state["route"].items():
+            self._route[key].restore(ring_state)
+        self._route_length.restore(state["route_length"])
+        self._pending = state["pending"]
+        self._last_event_time = state["last_event_time"]
+        self._emitted = state["emitted"]
+        self._windows_closed = state["windows_closed"]
+        self.rows = list(state["rows"])
 
 
 def extractor_for_config(

@@ -67,15 +67,19 @@ import numpy as np
 from repro.core.model import CrossFeatureDetector, CrossFeatureModel
 from repro.features.traffic import DEFAULT_SAMPLING_PERIODS
 from repro.stream.config import (
+    DEFAULT_MAX_FAULTS,
     DEFAULT_MONITOR,
     DEFAULT_QUORUM,
+    DEFAULT_ROW_POLICY,
     DEFAULT_WARMUP,
     needed_votes,
     resolve_threshold,
     validate_quorum,
+    validate_row_policy,
 )
 from repro.stream.detector import Alarm, StreamResult
 from repro.stream.extractor import StreamingExtractor, WindowRow
+from repro.stream.faults import RowFaultInjector, StreamFault, StreamFaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.eval.experiments import ExperimentPlan
@@ -108,6 +112,8 @@ class _Lane:
     __slots__ = (
         "name", "scenario", "monitor", "frontier", "done",
         "times", "scores", "latencies", "alarms",
+        "crashed", "ticks_seen", "consecutive_faults",
+        "last_time", "last_index", "faults",
     )
 
     def __init__(self, name: str, scenario: str, monitor: int):
@@ -120,6 +126,12 @@ class _Lane:
         self.scores: list[float] = []
         self.latencies: list[float] = []
         self.alarms: list[Alarm] = []
+        self.crashed = False           # injected crash: the lane went silent
+        self.ticks_seen = 0            # sampling ticks observed (crash keying)
+        self.consecutive_faults = 0    # quarantine circuit-breaker counter
+        self.last_time = float("-inf")  # last admitted row's window end
+        self.last_index = -1           # last admitted row's index
+        self.faults: list[StreamFault] = []
 
 
 class FleetStream:
@@ -163,27 +175,53 @@ class FleetStream:
         self._extractor.unbind()
 
     def on_tick(self, time: float, speed: float) -> None:
-        """A sampling tick: advance the window clock and the watermark."""
+        """A sampling tick: advance the window clock and the watermark.
+
+        Checks the fleet's injected fault plan for this lane's crash
+        point; a crashed lane goes permanently silent (its frontier
+        freezes, so only a ``stall_timeout`` or end-of-stream seal can
+        release the watermark it holds).
+        """
+        lane = self._lane
+        tick_index = lane.ticks_seen
+        lane.ticks_seen += 1
+        if not lane.crashed:
+            plan = self._fleet._fault_plan
+            if plan is not None and plan.lane_crash(lane.name, tick_index):
+                self._fleet._crash_lane(lane)
+        if lane.crashed:
+            return
         self._extractor.on_tick(time, speed)
-        self._lane.frontier = float(time)
+        lane.frontier = float(time)
         self._fleet._advance()
 
     def finish(self) -> None:
-        """Stream end: flush the pending window, release the watermark."""
-        if self._lane.done:
+        """Stream end: flush the pending window, release the watermark.
+
+        Idempotent; a crashed lane is sealed with reason ``"crashed"``
+        instead of flushing (its tail never arrived).
+        """
+        lane = self._lane
+        if lane.done:
             return
-        self._extractor.finish()
-        self._fleet._finish_lane(self._lane)
+        if lane.crashed:
+            self._fleet._seal_lane(lane, "crashed")
+            return
+        self._fleet._flush_stream(lane)
+        self._fleet._finish_lane(lane)
 
     # -- NodeStats-listener protocol (replay feeds these directly) -----
     def on_packet(self, time, ptype, direction) -> None:
-        self._extractor.on_packet(time, ptype, direction)
+        if not self._lane.crashed:
+            self._extractor.on_packet(time, ptype, direction)
 
     def on_route_event(self, time, kind) -> None:
-        self._extractor.on_route_event(time, kind)
+        if not self._lane.crashed:
+            self._extractor.on_route_event(time, kind)
 
     def on_route_length(self, time, hops) -> None:
-        self._extractor.on_route_length(time, hops)
+        if not self._lane.crashed:
+            self._extractor.on_route_length(time, hops)
 
 
 @dataclass
@@ -204,6 +242,13 @@ class FleetResult:
     fused: list[FleetAlarm]
     batch_sizes: list[int] = field(default_factory=list)
     elapsed_s: float = 0.0
+    #: Lane name -> abnormal-seal reason ("dropped" / "stalled" /
+    #: "faulted" / "crashed"); lanes that simply finished are absent.
+    sealed: dict[str, str] = field(default_factory=dict)
+    #: Every quarantined row across the fleet, in detection order.
+    fault_records: list[StreamFault] = field(default_factory=list)
+    #: Seal attempts on already-finished lanes (idempotent no-ops).
+    duplicate_seals: int = 0
 
     @property
     def n_streams(self) -> int:
@@ -263,6 +308,17 @@ class FleetDetector:
         Callback ``(batch_size, seconds)`` per vectorized scoring call
         (the Session wires :meth:`RuntimeMetrics.record_fleet_batch`
         here for per-tick batch-size accounting).
+    row_policy, max_consecutive_faults, stall_timeout:
+        Degraded-input handling — see :mod:`repro.stream.config`.
+    faults:
+        Optional injected :class:`~repro.stream.faults.StreamFaultPlan`
+        (deterministic chaos for tests and the stream-chaos bench).
+    on_fault:
+        Callback per quarantined :class:`StreamFault`.
+    on_seal:
+        Callback ``(lane_name, reason)`` per abnormal lane seal
+        ("dropped" / "stalled" / "faulted" / "crashed") and per
+        duplicate seal attempt (reason ``"duplicate"``).
     """
 
     def __init__(
@@ -274,9 +330,17 @@ class FleetDetector:
         on_alarm: Callable[[Alarm], None] | None = None,
         on_fused: Callable[[FleetAlarm], None] | None = None,
         on_batch: Callable[[int, float], None] | None = None,
+        row_policy: str = DEFAULT_ROW_POLICY,
+        max_consecutive_faults: int = DEFAULT_MAX_FAULTS,
+        stall_timeout: float | None = None,
+        faults: StreamFaultPlan | None = None,
+        on_fault: Callable[[StreamFault], None] | None = None,
+        on_seal: Callable[[str, str], None] | None = None,
     ):
         if model.discretizer is None:
             raise ValueError("model must be fitted before fleet detection")
+        if stall_timeout is not None and stall_timeout <= 0:
+            raise ValueError(f"stall_timeout must be positive, got {stall_timeout}")
         self.model = model
         self.threshold = float(threshold)
         self.method = method
@@ -284,8 +348,18 @@ class FleetDetector:
         self.on_alarm = on_alarm
         self.on_fused = on_fused
         self.on_batch = on_batch
+        self.row_policy = validate_row_policy(row_policy)
+        self.max_consecutive_faults = int(max_consecutive_faults)
+        self.stall_timeout = stall_timeout
+        self.on_fault = on_fault
+        self.on_seal = on_seal
         self.fused: list[FleetAlarm] = []
         self.batch_sizes: list[int] = []
+        self.fault_records: list[StreamFault] = []
+        self.sealed: dict[str, str] = {}
+        self.duplicate_seals = 0
+        self._fault_plan = faults if faults else None
+        self._injectors: dict[str, RowFaultInjector] = {}
         self._lanes: dict[str, _Lane] = {}
         self._streams: dict[str, FleetStream] = {}
         self._buckets: dict[float, list[tuple[_Lane, WindowRow]]] = {}
@@ -304,6 +378,12 @@ class FleetDetector:
         on_alarm: Callable[[Alarm], None] | None = None,
         on_fused: Callable[[FleetAlarm], None] | None = None,
         on_batch: Callable[[int, float], None] | None = None,
+        row_policy: str = DEFAULT_ROW_POLICY,
+        max_consecutive_faults: int = DEFAULT_MAX_FAULTS,
+        stall_timeout: float | None = None,
+        faults: StreamFaultPlan | None = None,
+        on_fault: Callable[[StreamFault], None] | None = None,
+        on_seal: Callable[[str, str], None] | None = None,
     ) -> "FleetDetector":
         """Wrap a fitted batch :class:`CrossFeatureDetector` unchanged.
 
@@ -319,6 +399,12 @@ class FleetDetector:
             on_alarm=on_alarm,
             on_fused=on_fused,
             on_batch=on_batch,
+            row_policy=row_policy,
+            max_consecutive_faults=max_consecutive_faults,
+            stall_timeout=stall_timeout,
+            faults=faults,
+            on_fault=on_fault,
+            on_seal=on_seal,
         )
 
     @classmethod
@@ -340,6 +426,12 @@ class FleetDetector:
         on_alarm: Callable[[Alarm], None] | None = None,
         on_fused: Callable[[FleetAlarm], None] | None = None,
         on_batch: Callable[[int, float], None] | None = None,
+        row_policy: str = DEFAULT_ROW_POLICY,
+        max_consecutive_faults: int = DEFAULT_MAX_FAULTS,
+        stall_timeout: float | None = None,
+        faults: StreamFaultPlan | None = None,
+        on_fault: Callable[[StreamFault], None] | None = None,
+        on_seal: Callable[[str, str], None] | None = None,
     ) -> "FleetDetector":
         """Train via the session and register one lane per (scenario, monitor).
 
@@ -367,6 +459,12 @@ class FleetDetector:
             on_alarm=on_alarm,
             on_fused=on_fused,
             on_batch=on_batch,
+            row_policy=row_policy,
+            max_consecutive_faults=max_consecutive_faults,
+            stall_timeout=stall_timeout,
+            faults=faults,
+            on_fault=on_fault,
+            on_seal=on_seal,
         )
         if monitors is None:
             monitors = tuple(m for m in range(plan.n_nodes) if m != plan.attacker)
@@ -421,6 +519,7 @@ class FleetDetector:
         )
         stream = FleetStream(self, lane, extractor)
         self._streams[lane.name] = stream
+        self._make_injector(lane)
         return stream
 
     def taps(self, scenario: str | None = None) -> list[FleetStream]:
@@ -445,18 +544,36 @@ class FleetDetector:
         from a remote probe, a message bus, or a benchmark harness) and
         advance its clock with :meth:`seal`.
         """
-        self._register(name, scenario, monitor)
+        lane = self._register(name, scenario, monitor)
+        self._make_injector(lane)
 
     def ingest(self, name: str, row: WindowRow) -> None:
-        """Deliver one closed window for an externally-fed lane."""
+        """Deliver one closed window for an externally-fed lane.
+
+        Under ``row_policy="strict"`` a delivery on a finished lane
+        raises; ``"quarantine"`` records it as a ``"late"`` fault.
+        """
         lane = self._lanes[name]
         if lane.done:
+            if self.row_policy == "quarantine":
+                self._quarantine(
+                    lane, row, "late",
+                    f"row delivered after lane {name!r} was sealed",
+                )
+                return
             raise ValueError(f"stream {name!r} already finished")
         self._deliver(lane, row)
 
     def seal(self, name: str, through: float) -> None:
-        """Promise no more rows with ``time <= through`` on one lane."""
+        """Promise no more rows with ``time <= through`` on one lane.
+
+        Sealing a finished lane is an idempotent no-op, counted in
+        ``duplicate_seals`` (restart logic may seal defensively).
+        """
         lane = self._lanes[name]
+        if lane.done:
+            self._duplicate_seal(lane)
+            return
         lane.frontier = max(lane.frontier, float(through))
         self._advance()
 
@@ -473,14 +590,15 @@ class FleetDetector:
 
         Windows it already delivered still score; it just no longer
         holds the fleet watermark back, and fused quorums are evaluated
-        over the streams that keep reporting.
+        over the streams that keep reporting.  Dropping a finished lane
+        is an idempotent no-op counted in ``duplicate_seals``.
         """
         lane = self._lanes[name]
-        stream = self._streams.get(name)
-        if stream is not None:
-            stream.finish()
-        else:
-            self._finish_lane(lane)
+        if lane.done:
+            self._duplicate_seal(lane)
+            return
+        self._flush_stream(lane)
+        self._seal_lane(lane, "dropped")
 
     def finish(self) -> None:
         """Fleet end: flush every lane and score the remaining buckets."""
@@ -488,6 +606,9 @@ class FleetDetector:
             stream.finish()
         for lane in self._lanes.values():
             if not lane.done:
+                injector = self._injectors.get(lane.name)
+                if injector is not None:
+                    injector.flush()
                 self._finish_lane(lane)
 
     # ------------------------------------------------------------------
@@ -503,10 +624,68 @@ class FleetDetector:
         """Windows scored so far across the whole fleet."""
         return sum(len(lane.scores) for lane in self._lanes.values())
 
+    def _make_injector(self, lane: _Lane) -> None:
+        """Attach a per-lane row-fault injector when a plan is installed."""
+        if self._fault_plan is not None:
+            self._injectors[lane.name] = RowFaultInjector(
+                self._fault_plan,
+                lane.name,
+                deliver=lambda row, _lane=lane: self._admit(_lane, row),
+                crash_on_row=False,
+            )
+
     def _deliver(self, lane: _Lane, row: WindowRow) -> None:
-        """Buffer one closed window into its tick bucket."""
+        """Route one closed window through the fault plan to admission."""
+        if lane.crashed:
+            return
+        injector = self._injectors.get(lane.name)
+        if injector is not None:
+            injector(row)
+        else:
+            self._admit(lane, row)
+
+    def _classify_row(self, lane: _Lane, row: WindowRow) -> tuple[str, str] | None:
+        """The quarantine verdict for a degraded row, or ``None`` if clean."""
         t = float(row.time)
+        if np.isnan(row.features).any():
+            return "nan", "row carries NaN features"
+        if np.isinf(row.features).any():
+            return "out_of_range", "row carries non-finite features"
+        if not np.isfinite(t) or t < 0:
+            return "out_of_range", f"window time {t} is not a valid instant"
         if t <= self._finalized_through:
+            return "late", (
+                f"window at {t} arrived after its tick was finalised "
+                f"(watermark {self._finalized_through})"
+            )
+        if t == lane.last_time and row.index == lane.last_index:
+            return "duplicate", f"window {row.index} at {t} was already delivered"
+        return None
+
+    def _quarantine(self, lane: _Lane, row: WindowRow, kind: str, detail: str) -> None:
+        """Record one quarantined row; trip the consecutive-fault breaker."""
+        fault = StreamFault(
+            stream=lane.name, kind=kind, index=row.index,
+            time=float(row.time), detail=detail,
+        )
+        lane.faults.append(fault)
+        self.fault_records.append(fault)
+        if self.on_fault is not None:
+            self.on_fault(fault)
+        lane.consecutive_faults += 1
+        if not lane.done and lane.consecutive_faults > self.max_consecutive_faults:
+            self._seal_lane(lane, "faulted")
+
+    def _admit(self, lane: _Lane, row: WindowRow) -> None:
+        """Validate one row under the policy and buffer it into its bucket."""
+        t = float(row.time)
+        if self.row_policy == "quarantine":
+            verdict = self._classify_row(lane, row)
+            if verdict is not None:
+                self._quarantine(lane, row, *verdict)
+                return
+            lane.consecutive_faults = 0
+        elif t <= self._finalized_through:
             raise ValueError(
                 f"stream {lane.name!r} delivered a window at {t} after its "
                 f"tick was finalised (watermark {self._finalized_through}); "
@@ -517,10 +696,49 @@ class FleetDetector:
             self._buckets[t] = bucket = []
             heapq.heappush(self._heap, t)
         bucket.append((lane, row))
+        lane.last_time = t
+        lane.last_index = row.index
+
+    def _crash_lane(self, lane: _Lane) -> None:
+        """An injected crash point: the lane goes permanently silent."""
+        lane.crashed = True
+        injector = self._injectors.get(lane.name)
+        if injector is not None:
+            injector.restore({"crashed": True, "held": None})
+
+    def _flush_stream(self, lane: _Lane) -> None:
+        """Flush a lane's pending window and any held (delayed) row."""
+        stream = self._streams.get(lane.name)
+        if stream is not None and not lane.crashed:
+            stream._extractor.finish()
+        injector = self._injectors.get(lane.name)
+        if injector is not None:
+            injector.flush()
 
     def _finish_lane(self, lane: _Lane) -> None:
+        """Normal end of stream: mark done, release the watermark."""
+        if lane.done:
+            self._duplicate_seal(lane)
+            return
         lane.done = True
         self._advance()
+
+    def _seal_lane(self, lane: _Lane, reason: str) -> None:
+        """Abnormal end of stream: record why the lane was taken out."""
+        if lane.done:
+            self._duplicate_seal(lane)
+            return
+        lane.done = True
+        self.sealed[lane.name] = reason
+        if self.on_seal is not None:
+            self.on_seal(lane.name, reason)
+        self._advance()
+
+    def _duplicate_seal(self, lane: _Lane) -> None:
+        """Seal/drop on an already-finished lane: a counted no-op."""
+        self.duplicate_seals += 1
+        if self.on_seal is not None:
+            self.on_seal(lane.name, "duplicate")
 
     def _watermark(self) -> float:
         """Min frontier over active lanes (+inf once all are done)."""
@@ -529,8 +747,43 @@ class FleetDetector:
         ]
         return min(active) if active else float("inf")
 
+    def _check_stalls(self) -> None:
+        """Seal lanes lagging the most advanced live lane past the bound.
+
+        Compared *within each scenario group*: lanes of a group that has
+        not started yet (sequential multi-scenario runs) sit at ``-inf``
+        and are never stalled — a lane only becomes stall-eligible once
+        it has advanced its frontier at least once, so the first tick of
+        a run (where sibling taps have not yet been dispatched) cannot
+        seal the whole fleet.  A crashed lane in a running group *has* a
+        frontier, falls behind its siblings and is sealed.  Marks lanes
+        done inline (no recursive :meth:`_advance`); the caller
+        recomputes the watermark right after.
+        """
+        groups: dict[str, list[_Lane]] = {}
+        for lane in self._lanes.values():
+            if not lane.done:
+                groups.setdefault(lane.scenario, []).append(lane)
+        for lanes in groups.values():
+            if len(lanes) < 2:
+                continue
+            max_frontier = max(lane.frontier for lane in lanes)
+            if max_frontier == float("-inf"):
+                continue
+            cutoff = max_frontier - self.stall_timeout
+            for lane in lanes:
+                if lane.frontier == float("-inf"):
+                    continue
+                if lane.frontier < cutoff:
+                    lane.done = True
+                    self.sealed[lane.name] = "stalled"
+                    if self.on_seal is not None:
+                        self.on_seal(lane.name, "stalled")
+
     def _advance(self) -> None:
         """Finalise every bucket the whole fleet has moved past."""
+        if self.stall_timeout is not None:
+            self._check_stalls()
         if not self._heap:
             return
         watermark = self._watermark()
@@ -627,4 +880,99 @@ class FleetDetector:
             fused=list(self.fused),
             batch_sizes=list(self.batch_sizes),
             elapsed_s=elapsed_s,
+            sealed=dict(self.sealed),
+            fault_records=list(self.fault_records),
+            duplicate_seals=self.duplicate_seals,
         )
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The fleet's full mutable run state, lanes and buckets included.
+
+        Captures every lane's frontier / verdicts / extractor rings /
+        injector state, the unfinalised tick buckets, the heap and the
+        watermark — everything needed to resume a durable run exactly.
+        Construction knobs (model, threshold, quorum, policy) are not
+        captured; restore targets a same-shaped fleet.
+        """
+        lanes = {}
+        for name, lane in self._lanes.items():
+            stream = self._streams.get(name)
+            injector = self._injectors.get(name)
+            lanes[name] = {
+                "frontier": lane.frontier,
+                "done": lane.done,
+                "crashed": lane.crashed,
+                "ticks_seen": lane.ticks_seen,
+                "consecutive_faults": lane.consecutive_faults,
+                "last_time": lane.last_time,
+                "last_index": lane.last_index,
+                "times": list(lane.times),
+                "scores": list(lane.scores),
+                "latencies": list(lane.latencies),
+                "alarms": list(lane.alarms),
+                "faults": list(lane.faults),
+                "extractor": (
+                    stream._extractor.snapshot() if stream is not None else None
+                ),
+                "injector": injector.snapshot() if injector is not None else None,
+            }
+        return {
+            "lanes": lanes,
+            "buckets": {
+                t: [(lane.name, row) for lane, row in bucket]
+                for t, bucket in self._buckets.items()
+            },
+            "heap": list(self._heap),
+            "finalized_through": self._finalized_through,
+            "fused": list(self.fused),
+            "batch_sizes": list(self.batch_sizes),
+            "fault_records": list(self.fault_records),
+            "sealed": dict(self.sealed),
+            "duplicate_seals": self.duplicate_seals,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot` taken from a same-shaped fleet.
+
+        The same lanes must already be registered (same names, via
+        ``add_stream``/``attach``/``from_session`` with the original
+        knobs).  Restored alarms and faults do not re-fire hooks.
+        """
+        if set(state["lanes"]) != set(self._lanes):
+            raise ValueError(
+                "snapshot does not match this fleet's registered lanes"
+            )
+        for name, lane_state in state["lanes"].items():
+            lane = self._lanes[name]
+            lane.frontier = lane_state["frontier"]
+            lane.done = lane_state["done"]
+            lane.crashed = lane_state["crashed"]
+            lane.ticks_seen = lane_state["ticks_seen"]
+            lane.consecutive_faults = lane_state["consecutive_faults"]
+            lane.last_time = lane_state["last_time"]
+            lane.last_index = lane_state["last_index"]
+            lane.times = list(lane_state["times"])
+            lane.scores = list(lane_state["scores"])
+            lane.latencies = list(lane_state["latencies"])
+            lane.alarms = list(lane_state["alarms"])
+            lane.faults = list(lane_state["faults"])
+            stream = self._streams.get(name)
+            if stream is not None and lane_state["extractor"] is not None:
+                stream._extractor.restore(lane_state["extractor"])
+            injector = self._injectors.get(name)
+            if injector is not None and lane_state["injector"] is not None:
+                injector.restore(lane_state["injector"])
+        self._buckets = {
+            t: [(self._lanes[name], row) for name, row in bucket]
+            for t, bucket in state["buckets"].items()
+        }
+        self._heap = list(state["heap"])
+        self._finalized_through = state["finalized_through"]
+        self.fused = list(state["fused"])
+        self.batch_sizes = list(state["batch_sizes"])
+        self.fault_records = list(state["fault_records"])
+        self.sealed = dict(state["sealed"])
+        self.duplicate_seals = state["duplicate_seals"]

@@ -9,13 +9,19 @@ Streamed output is therefore bit-identical whether the tap rode the live
 run or a replay of its trace.
 
 Uses: regression-test streamed pipelines against cached traces without
-re-simulating, and benchmark detection throughput on a fixed workload.
+re-simulating, benchmark detection throughput on a fixed workload, and —
+because the merged dispatch order is *deterministic* (each source list
+is insertion-ordered and the merge is total-ordered by ``(time, rank,
+seq)``) — anchor the durable-run resume contract: a position counted in
+dispatched merge items means the same thing in every replay of the same
+trace, so :mod:`repro.stream.durability` can checkpoint "N items in" and
+skip exactly N on resume.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.simulation.packet import Direction, PacketType
 from repro.simulation.scenario import SimulationTrace
@@ -55,24 +61,40 @@ def _event_feed(trace: SimulationTrace, monitor: int) -> Iterator[tuple]:
     return heapq.merge(*feeds)
 
 
-def replay_trace(trace: SimulationTrace, tap) -> None:
+def replay_trace(
+    trace: SimulationTrace,
+    tap,
+    skip: int = 0,
+    on_tick: Callable[[int], None] | None = None,
+) -> int:
     """Drive one window tap with a recorded trace, live-order faithful.
 
     ``tap`` follows the scenario tap protocol (``monitor``, ``on_tick``,
     ``finish`` and the ``NodeStats`` listener methods); it is fed
     directly — no ``bind`` — so the same tap class serves both live runs
     and replays.
+
+    Durability hooks: ``skip`` fast-forwards past the first N merged
+    items without dispatching them (resuming a checkpointed run whose
+    state already reflects them); ``on_tick(position)`` fires after each
+    dispatched sampling tick with the absolute merge position — a safe
+    checkpoint instant, because the tick is pending in the extractor and
+    nothing is half-applied.  Returns the final merge position.
     """
     monitor = tap.monitor
     if not 0 <= monitor < trace.n_nodes:
         raise ValueError(f"tap monitor {monitor} out of range")
+    if skip < 0:
+        raise ValueError(f"skip must be >= 0, got {skip}")
     ticks = [
         (t, _TICK, i, "tick", speeds[monitor])
         for i, (t, speeds) in enumerate(zip(trace.tick_times, trace.speeds))
     ]
-    for time, _rank, _seq, kind, payload in heapq.merge(
-        _event_feed(trace, monitor), ticks
-    ):
+    merged = heapq.merge(_event_feed(trace, monitor), ticks)
+    position = 0
+    while position < skip and next(merged, None) is not None:
+        position += 1
+    for time, _rank, _seq, kind, payload in merged:
         if kind == "packet":
             tap.on_packet(time, *payload)
         elif kind == "route":
@@ -81,4 +103,67 @@ def replay_trace(trace: SimulationTrace, tap) -> None:
             tap.on_route_length(time, payload)
         else:
             tap.on_tick(time, payload)
+        position += 1
+        if kind == "tick" and on_tick is not None:
+            on_tick(position)
     tap.finish()
+    return position
+
+
+class ReplayCursor:
+    """An incremental :func:`replay_trace`: one tick segment per step.
+
+    Durable *fleet* replay needs all lanes advancing together — a lane
+    replayed to completion while its peers sit at time zero would look
+    stalled to the fleet's liveness policy and wedge the watermark.  A
+    cursor holds one lane's merged feed open so a driver can round-robin
+    them: each :meth:`step_tick` dispatches merged items up to and
+    including the next sampling tick (or the end of the trace, when it
+    calls ``tap.finish()`` and marks the cursor done).
+
+    ``skip`` fast-forwards past already-applied items on resume, exactly
+    as in :func:`replay_trace`; ``position`` is the same absolute merge
+    position, so the two are checkpoint-compatible.
+    """
+
+    def __init__(self, trace: SimulationTrace, tap, skip: int = 0):
+        monitor = tap.monitor
+        if not 0 <= monitor < trace.n_nodes:
+            raise ValueError(f"tap monitor {monitor} out of range")
+        if skip < 0:
+            raise ValueError(f"skip must be >= 0, got {skip}")
+        self.tap = tap
+        self.position = 0
+        self.done = False
+        ticks = [
+            (t, _TICK, i, "tick", speeds[monitor])
+            for i, (t, speeds) in enumerate(zip(trace.tick_times, trace.speeds))
+        ]
+        self._merged = heapq.merge(_event_feed(trace, monitor), ticks)
+        while self.position < skip and next(self._merged, None) is not None:
+            self.position += 1
+
+    def step_tick(self) -> bool:
+        """Dispatch up to (and including) the next sampling tick.
+
+        Returns ``True`` while the trace has more to deliver; on
+        exhaustion it calls ``tap.finish()`` once, marks the cursor
+        ``done`` and returns ``False``.
+        """
+        if self.done:
+            return False
+        for time, _rank, _seq, kind, payload in self._merged:
+            if kind == "packet":
+                self.tap.on_packet(time, *payload)
+            elif kind == "route":
+                self.tap.on_route_event(time, payload)
+            elif kind == "length":
+                self.tap.on_route_length(time, payload)
+            else:
+                self.tap.on_tick(time, payload)
+            self.position += 1
+            if kind == "tick":
+                return True
+        self.done = True
+        self.tap.finish()
+        return False

@@ -149,6 +149,37 @@ class EventRing:
             del self._s2[:head]
             self._head = 0
 
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Full ring state as plain Python values (checkpointable)."""
+        return {
+            "max_period": self.max_period,
+            "times": list(self._times),
+            "s1": list(self._s1),
+            "s2": list(self._s2),
+            "head": self._head,
+            "evicted": self._evicted,
+            "n": self._n,
+            "last_time": self._last_time,
+            "s1_last": self._s1_last,
+            "s2_last": self._s2_last,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot`, replacing all current state."""
+        self.max_period = state["max_period"]
+        self._times = list(state["times"])
+        self._s1 = list(state["s1"])
+        self._s2 = list(state["s2"])
+        self._head = state["head"]
+        self._evicted = state["evicted"]
+        self._n = state["n"]
+        self._last_time = state["last_time"]
+        self._s1_last = state["s1_last"]
+        self._s2_last = state["s2_last"]
+
 
 class RouteLengthRing:
     """Windowed mean hop count with the batch path's carry-forward.
@@ -215,3 +246,32 @@ class RouteLengthRing:
             del self._times[:head]
             del self._prefix[:head]
             self._head = 0
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Full ring state as plain Python values (checkpointable)."""
+        return {
+            "max_period": self.max_period,
+            "times": list(self._times),
+            "prefix": list(self._prefix),
+            "head": self._head,
+            "evicted": self._evicted,
+            "n": self._n,
+            "prefix_last": self._prefix_last,
+            "evicted_prefix": self._evicted_prefix,
+            "carry": self._carry,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot`, replacing all current state."""
+        self.max_period = state["max_period"]
+        self._times = list(state["times"])
+        self._prefix = list(state["prefix"])
+        self._head = state["head"]
+        self._evicted = state["evicted"]
+        self._n = state["n"]
+        self._prefix_last = state["prefix_last"]
+        self._evicted_prefix = state["evicted_prefix"]
+        self._carry = state["carry"]

@@ -54,6 +54,7 @@ class TestTopLevelApi:
             "ArtifactCache",
             "C45Classifier",
             "CLASSIFIERS",
+            "CheckpointError",
             "CrossFeatureDetector",
             "CrossFeatureModel",
             "DetectionResult",
@@ -72,6 +73,8 @@ class TestTopLevelApi:
             "ScenarioConfig",
             "Session",
             "SimulationTrace",
+            "StreamFault",
+            "StreamFaultPlan",
             "StreamResult",
             "StreamingExtractor",
             "TraceBundle",
@@ -94,8 +97,11 @@ class TestTopLevelApi:
         assert stream.__all__ == sorted(set(stream.__all__))
         assert stream.__all__ == [
             "Alarm",
+            "CheckpointError",
+            "DEFAULT_MAX_FAULTS",
             "DEFAULT_MONITOR",
             "DEFAULT_QUORUM",
+            "DEFAULT_ROW_POLICY",
             "DEFAULT_WARMUP",
             "EventRing",
             "FleetAlarm",
@@ -104,14 +110,24 @@ class TestTopLevelApi:
             "FleetStream",
             "OnlineDetector",
             "RouteLengthRing",
+            "StreamFault",
+            "StreamFaultPlan",
+            "StreamFaultSpec",
             "StreamResult",
             "StreamingExtractor",
             "WindowRow",
             "extractor_for_config",
+            "load_fleet_checkpoint",
+            "load_stream_checkpoint",
             "needed_votes",
+            "read_checkpoint",
             "replay_trace",
             "resolve_threshold",
+            "save_fleet_checkpoint",
+            "save_stream_checkpoint",
             "validate_quorum",
+            "validate_row_policy",
+            "write_checkpoint",
         ]
         for name in stream.__all__:
             assert hasattr(stream, name), name

@@ -72,6 +72,27 @@ class TestModelBenchQuick:
         assert "identical" in fit_entry["identity"]
 
 
+class TestStreamChaosBenchQuick:
+    def test_quick_stream_chaos_bench_runs_and_verifies(self):
+        """The quick chaos suite asserts the kill-anywhere resume contract
+        and the corrupt-checkpoint fingerprint check in-harness; the
+        entries carry the survival stats."""
+        from repro.runtime.bench import run_stream_chaos_bench
+
+        payload = run_stream_chaos_bench(quick=True)
+        assert payload["suite"] == "stream-chaos"
+        names = {e["name"] for e in payload["entries"]}
+        assert names == {"stream/resume", "fleet/chaos"}
+        for e in payload["entries"]:
+            assert e["kind"] == "durability"
+            assert e["optimized_seconds"] > 0
+        chaos = next(e for e in payload["entries"] if e["name"] == "fleet/chaos")
+        # The injected chaos actually landed and was survived.
+        assert chaos["quarantined"] > 0
+        assert chaos["sealed"]  # the crashed lane was sealed, with a reason
+        assert set(chaos["sealed"].values()) <= {"stalled", "crashed"}
+
+
 class TestFleetBenchQuick:
     def test_quick_fleet_bench_runs_and_verifies(self):
         """The quick fleet suite asserts per-lane bit-identity against the

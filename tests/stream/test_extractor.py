@@ -108,6 +108,30 @@ class TestStreamingExtractor:
             tap.bind(stats)
         tap.unbind()
 
+    def test_rejected_bind_leaves_no_partial_state(self):
+        """Regression: a rejected bind must not subscribe a listener or
+        mark the tap bound — it stays cleanly re-bindable."""
+        tap = StreamingExtractor(monitor=0)
+        wrong = NodeStats(node_id=3)
+        with pytest.raises(ValueError):
+            tap.bind(wrong)
+        assert tap not in wrong._listeners
+        right = NodeStats(node_id=0)
+        tap.bind(right)  # not blocked by the failed attempt
+        assert tap in right._listeners
+        tap.unbind()
+        assert tap not in right._listeners
+
+    def test_unbind_is_idempotent_and_tolerates_rebuilt_listeners(self):
+        tap = StreamingExtractor(monitor=0)
+        stats = NodeStats(node_id=0)
+        tap.bind(stats)
+        stats._listeners.clear()  # e.g. the stats object was re-pickled
+        tap.unbind()  # must not raise on the missing listener
+        tap.unbind()  # idempotent
+        tap.bind(stats)  # and the tap is bindable again
+        tap.unbind()
+
     def test_event_at_tick_time_lands_in_that_window(self):
         tap = StreamingExtractor(monitor=0, periods=(5.0,), sampling_period=5.0)
         tap.on_packet(4.0, PacketType.DATA, Direction.RECEIVED)
