@@ -35,11 +35,20 @@ def test_simulator_scaling():
     # deliberately lower so CI timing noise cannot flake the suite.
     assert by_name["neighbors/100nodes"]["speedup"] >= 1.5, by_name
 
-    # At every scale the harness has already asserted checksum equality
-    # between the two modes; spot-check the records are well-formed.
+    # The 500-node row must exist: it covers the regime the batched
+    # kernel targets (the harness asserted its fingerprints already).
+    assert "scenario/aodv/500nodes" in by_name, sorted(by_name)
+
+    # At every scale the harness has already asserted trace-fingerprint
+    # equality between the two modes; spot-check the records are
+    # well-formed, and require the fast-pathed stack to never lose to
+    # the reference stack end to end — at any node count or protocol.
     for entry in payload["entries"]:
         assert entry["baseline_seconds"] > 0
         assert entry["optimized_seconds"] > 0
+        if entry["kind"] == "end_to_end":
+            assert entry["speedup"] >= 1.0, entry
+            assert entry["trace_fingerprint"], entry
 
     _maybe_write(payload, "simulator")
 

@@ -31,7 +31,7 @@ AODV_MAX_SEQ = 2**32 - 1
 """Maximum destination sequence number — the black-hole attack's weapon."""
 
 
-@dataclass
+@dataclass(slots=True)
 class AodvRouteEntry:
     """One row of the AODV route table."""
 
@@ -95,6 +95,22 @@ class AodvProtocol(RoutingProtocol):
         self._buffer = PacketBuffer()
         self._pending: dict[int, int] = {}  # dest -> retries used
         self._last_heard: dict[int, float] = {}
+        # Packet-type dispatch table (hot path; other types are ignored).
+        self._dispatch = {
+            PacketType.DATA: self._handle_data,
+            PacketType.RREQ: self._handle_rreq,
+            PacketType.RREP: self._handle_rrep,
+            PacketType.RERR: self._handle_rerr,
+            PacketType.HELLO: self._handle_hello,
+        }
+        self._dispatch_get = self._dispatch.get
+        # Flood-volume logging channels: these three sites fire once per
+        # delivered broadcast copy, so they bypass the log_packet frame
+        # (see NodeStats.packet_channel — listener semantics preserved).
+        packet_channel = node.stats.packet_channel
+        self._rreq_recv = packet_channel(PacketType.RREQ, Direction.RECEIVED)
+        self._rerr_recv = packet_channel(PacketType.RERR, Direction.RECEIVED)
+        self._hello_recv = packet_channel(PacketType.HELLO, Direction.RECEIVED)
 
         # Periodic machinery: jittered starts avoid network-wide phase lock.
         self.sim.schedule(self.sim.rng.uniform(0, hello_interval), self._hello_tick)
@@ -111,18 +127,26 @@ class AodvProtocol(RoutingProtocol):
         """
         if dest == self.node_id:
             return False
-        now = self.sim.now
-        expires = now + self.active_route_timeout
-        entry = self.table.get(dest)
-        if entry is not None and entry.fresher_than(seq, hops):
-            if entry.valid:
-                entry.expires = max(entry.expires, expires)
-            return False
-        if self._seq_memory.get(dest, -1) > seq:
+        expires = self.sim.now + self.active_route_timeout
+        table = self.table
+        entry = table.get(dest)
+        was_valid = False
+        if entry is not None:
+            # Inlined AodvRouteEntry.fresher_than (see its docstring for
+            # the RFC 3561 §6.2 ordering this implements).
+            eseq = entry.seq
+            was_valid = entry.valid
+            if (eseq > seq) if eseq != seq else (was_valid and entry.hops <= hops):
+                if was_valid and entry.expires < expires:
+                    entry.expires = expires
+                return False
+        memory = self._seq_memory
+        known = memory.get(dest, -1)
+        if known > seq:
             return False  # stale information: a purged entry knew better
-        was_valid = entry is not None and entry.valid
-        self.table[dest] = AodvRouteEntry(dest, next_hop, hops, seq, expires)
-        self._seq_memory[dest] = max(self._seq_memory.get(dest, -1), seq)
+        table[dest] = AodvRouteEntry(dest, next_hop, hops, seq, expires)
+        if known < seq:
+            memory[dest] = seq
         if not was_valid:
             self.log_route_event(RouteEventKind.ADD)
         return True
@@ -250,7 +274,8 @@ class AodvProtocol(RoutingProtocol):
                 self.log_drop(packet)
 
     def _handle_rreq(self, packet: Packet, from_id: int) -> None:
-        self.log_packet(PacketType.RREQ, Direction.RECEIVED)
+        # Flood hot path: one C-level append per copy via the channel.
+        self._rreq_recv.append(self.sim.now)
         info = packet.info
         origin, rreq_id = packet.origin, info["rreq_id"]
         # Reverse route toward the originator (possibly forged — the table
@@ -288,7 +313,7 @@ class AodvProtocol(RoutingProtocol):
         relay = packet.copy()
         relay.ttl -= 1
         relay.hops += 1
-        self.log_packet(PacketType.RREQ, Direction.FORWARDED)
+        self._stats_log_packet(self.sim.now, PacketType.RREQ, Direction.FORWARDED)
         self.node.broadcast(relay)
 
     def _send_rrep(self, origin: int, target: int, dest_seq: int, dest_hops: int) -> None:
@@ -372,7 +397,7 @@ class AodvProtocol(RoutingProtocol):
         self.node.broadcast(packet)
 
     def _handle_rerr(self, packet: Packet, from_id: int) -> None:
-        self.log_packet(PacketType.RERR, Direction.RECEIVED)
+        self._rerr_recv.append(self.sim.now)
         # Routes are invalidated when their next hop is the node
         # *announcing* the error — the packet's origin, i.e. its network-
         # layer source.  For honest RERRs that is also the link-layer
@@ -419,7 +444,7 @@ class AodvProtocol(RoutingProtocol):
         self.sim.schedule(self.hello_interval, self._hello_tick)
 
     def _handle_hello(self, packet: Packet, from_id: int) -> None:
-        self.log_packet(PacketType.HELLO, Direction.RECEIVED)
+        self._hello_recv.append(self.sim.now)
         self._update_route(from_id, from_id, 1, packet.info["seq"])
 
     def _purge_tick(self) -> None:
@@ -439,16 +464,9 @@ class AodvProtocol(RoutingProtocol):
     # ------------------------------------------------------------------
     def handle_packet(self, packet: Packet, from_id: int) -> None:
         self._last_heard[from_id] = self.sim.now
-        if packet.ptype == PacketType.DATA:
-            self._handle_data(packet, from_id)
-        elif packet.ptype == PacketType.RREQ:
-            self._handle_rreq(packet, from_id)
-        elif packet.ptype == PacketType.RREP:
-            self._handle_rrep(packet, from_id)
-        elif packet.ptype == PacketType.RERR:
-            self._handle_rerr(packet, from_id)
-        elif packet.ptype == PacketType.HELLO:
-            self._handle_hello(packet, from_id)
+        handler = self._dispatch_get(packet.ptype)
+        if handler is not None:
+            handler(packet, from_id)
 
     # ------------------------------------------------------------------
     # Attack surface (called only by repro.attacks)

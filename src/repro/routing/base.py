@@ -68,6 +68,11 @@ class RoutingProtocol(ABC):
         self.node = node
         self.sim = node.sim
         self.stats = node.stats
+        # Plain attributes / pre-bound methods: these sit on every
+        # per-packet path, so skip the property and double lookups.
+        self.node_id = node.node_id
+        self._stats_log_packet = node.stats.log_packet
+        self._stats_log_route_event = node.stats.log_route_event
         node.set_routing(self)
 
     # ------------------------------------------------------------------
@@ -89,11 +94,11 @@ class RoutingProtocol(ABC):
     # ------------------------------------------------------------------
     def log_packet(self, ptype: PacketType, direction: Direction) -> None:
         """Record a packet event in this node's trace."""
-        self.stats.log_packet(self.sim.now, ptype, direction)
+        self._stats_log_packet(self.sim.now, ptype, direction)
 
     def log_route_event(self, kind: RouteEventKind) -> None:
         """Record a route-fabric event in this node's trace."""
-        self.stats.log_route_event(self.sim.now, kind)
+        self._stats_log_route_event(self.sim.now, kind)
 
     def log_route_length(self, hops: int) -> None:
         """Record the hop count of a route being used for data."""
@@ -101,8 +106,4 @@ class RoutingProtocol(ABC):
 
     def log_drop(self, packet: Packet) -> None:
         """Log a packet discarded at this node."""
-        self.log_packet(packet.ptype, Direction.DROPPED)
-
-    @property
-    def node_id(self) -> int:
-        return self.node.node_id
+        self._stats_log_packet(self.sim.now, packet.ptype, Direction.DROPPED)

@@ -140,6 +140,18 @@ class DsrProtocol(RoutingProtocol):
         self._seen_rreqs: dict[tuple[int, int], float] = {}
         self._buffer = PacketBuffer()
         self._pending: dict[int, int] = {}
+        # Packet-type dispatch table (hot path; other types are ignored).
+        self._dispatch = {
+            PacketType.DATA: self._handle_data,
+            PacketType.RREQ: self._handle_rreq,
+            PacketType.RREP: self._handle_rrep,
+            PacketType.RERR: self._handle_rerr,
+        }
+        # Flood hot path: RREQ copies arrive once per neighbor per flood,
+        # so that one site logs through a channel (C-level append).
+        self._rreq_recv = node.stats.packet_channel(
+            PacketType.RREQ, Direction.RECEIVED
+        )
         self.sim.schedule(self.sim.rng.uniform(0, purge_interval), self._purge_tick)
 
     # ------------------------------------------------------------------
@@ -254,7 +266,7 @@ class DsrProtocol(RoutingProtocol):
                 self.log_drop(packet)
 
     def _handle_rreq(self, packet: Packet, from_id: int) -> None:
-        self.log_packet(PacketType.RREQ, Direction.RECEIVED)
+        self._rreq_recv.append(self.sim.now)
         info = packet.info
         origin, rreq_id, target = packet.origin, info["rreq_id"], info["target"]
         accumulated = info["route"]
@@ -450,14 +462,9 @@ class DsrProtocol(RoutingProtocol):
     # Dispatch
     # ------------------------------------------------------------------
     def handle_packet(self, packet: Packet, from_id: int) -> None:
-        if packet.ptype == PacketType.DATA:
-            self._handle_data(packet, from_id)
-        elif packet.ptype == PacketType.RREQ:
-            self._handle_rreq(packet, from_id)
-        elif packet.ptype == PacketType.RREP:
-            self._handle_rrep(packet, from_id)
-        elif packet.ptype == PacketType.RERR:
-            self._handle_rerr(packet, from_id)
+        handler = self._dispatch.get(packet.ptype)
+        if handler is not None:
+            handler(packet, from_id)
 
     # ------------------------------------------------------------------
     # Attack surface (called only by repro.attacks)

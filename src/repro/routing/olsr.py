@@ -76,6 +76,13 @@ class OlsrProtocol(RoutingProtocol):
         self.tc_seq = 0
         self._forged_tc_seq = 1 << 20
         self._seen_tc: dict[tuple[int, int], float] = {}
+        # Packet-type dispatch table (hot path).  OLSR has no
+        # RREQ/RREP/RERR; foreign packet types are ignored.
+        self._dispatch = {
+            PacketType.DATA: self._handle_data,
+            PacketType.HELLO: self._handle_hello,
+            PacketType.TC: self._handle_tc,
+        }
 
         rng = self.sim.rng
         self.sim.schedule(rng.uniform(0, hello_interval), self._hello_tick)
@@ -281,13 +288,9 @@ class OlsrProtocol(RoutingProtocol):
     # Dispatch
     # ------------------------------------------------------------------
     def handle_packet(self, packet: Packet, from_id: int) -> None:
-        if packet.ptype == PacketType.DATA:
-            self._handle_data(packet, from_id)
-        elif packet.ptype == PacketType.HELLO:
-            self._handle_hello(packet, from_id)
-        elif packet.ptype == PacketType.TC:
-            self._handle_tc(packet, from_id)
-        # OLSR has no RREQ/RREP/RERR; foreign packets are ignored.
+        handler = self._dispatch.get(packet.ptype)
+        if handler is not None:
+            handler(packet, from_id)
 
     # ------------------------------------------------------------------
     # Attack surface (called only by repro.attacks)

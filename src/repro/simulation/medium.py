@@ -24,8 +24,24 @@ Connectivity queries normally go through a
 candidates + exact unit-disc post-filter); the naive O(N) scan is kept both
 as the automatic fallback for partially-attached node sets and as the
 reference implementation the trace-equivalence suite compares against
-(``use_index=False`` / ``REPRO_SPATIAL_INDEX=0``).  Either path produces
+(``use_index=False`` / ``REPRO_SPATIAL_INDEX=0``).  Below
+``small_n_cutoff`` nodes the env-default resolution also falls back to the
+scan: per-query numpy overhead exceeds a 30-iteration Python loop, which is
+what made small scenarios *slower* with the index.  Either path produces
 bit-identical traces — see DESIGN.md §Performance for the invariants.
+
+Delivery fan-out likewise has two modes (see DESIGN.md §Event kernel).  The
+reference mode schedules one kernel event per receiver per broadcast.  The
+batched mode (``event_batch`` / ``REPRO_EVENT_BATCH``) folds a broadcast's
+whole fan-out into one kernel :class:`~repro.simulation.engine.MacroEvent`:
+all loss and jitter draws happen in a single pass (same RNG order as the
+per-receiver loop), one engine seq is reserved per surviving receiver (the
+exact seqs the reference would have allocated), arrivals are sorted, and
+each entry carries the receiver's pre-bound protocol handler so the kernel
+dispatches deliveries inline for as long as the batch's next entry is
+globally next in ``(time, seq)`` order — parking the batch back in the
+queue whenever any other event interleaves.  Traces are bit-identical by
+construction.
 """
 
 from __future__ import annotations
@@ -47,6 +63,10 @@ if TYPE_CHECKING:  # pragma: no cover
 FailureCallback = Callable[[Packet, int], None]
 
 _EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+#: Below this node count the env-default spatial index resolution falls
+#: back to the naive scan (grid bookkeeping costs more than it saves).
+SMALL_N_CUTOFF = 48
 
 
 def _default_use_index() -> bool:
@@ -77,11 +97,21 @@ class WirelessMedium:
         Time after which a failed unicast is reported to the sender.
     use_index:
         Route neighbor queries through the spatial grid index.  ``None``
-        (default) reads ``$REPRO_SPATIAL_INDEX``; ``False`` forces the
-        naive reference scan.  Traces are bit-identical either way.
+        (default) reads ``$REPRO_SPATIAL_INDEX`` and additionally bypasses
+        the index below ``small_n_cutoff`` nodes; an explicit ``True`` /
+        ``False`` forces the choice.  Traces are bit-identical either way.
     rebuild_quantum:
         Index snapshot lifetime, forwarded to
         :class:`~repro.simulation.spatial.SpatialNeighborIndex`.
+    event_batch:
+        Use macro-event delivery fan-out.  ``None`` (default) follows the
+        simulator's ``event_batch`` resolution but — like the spatial
+        index — falls back to per-receiver reference scheduling below
+        ``small_n_cutoff`` nodes, where fan-outs are too small to
+        amortize the batch machinery; an explicit ``True`` / ``False``
+        forces the choice.  Traces are bit-identical either way.
+    small_n_cutoff:
+        Node-count floor for the env-default spatial index (see above).
     """
 
     def __init__(
@@ -96,6 +126,8 @@ class WirelessMedium:
         retry_delay: float = 0.05,
         use_index: bool | None = None,
         rebuild_quantum: float = 0.25,
+        event_batch: bool | None = None,
+        small_n_cutoff: int = SMALL_N_CUTOFF,
     ):
         self.sim = sim
         self.mobility = mobility
@@ -109,11 +141,33 @@ class WirelessMedium:
         self._busy_until: list[float] = []
         self._promiscuous: set[int] = set()
         self._promiscuous_ids = _EMPTY_IDS
+        self.small_n_cutoff = small_n_cutoff
+        if use_index is None:
+            want_index = _default_use_index() and mobility.n_nodes >= small_n_cutoff
+        else:
+            want_index = bool(use_index)
         self.index: SpatialNeighborIndex | None = (
             SpatialNeighborIndex(mobility, tx_range, rebuild_quantum=rebuild_quantum)
-            if (use_index if use_index is not None else _default_use_index())
+            if want_index
             else None
         )
+        # Macro fan-out amortizes per-broadcast costs (macro alloc, entry
+        # sort, batch parking) over the receiver count; below the same
+        # small-n cutoff the typical fan-out is too small to pay for it,
+        # so the env-default resolution keeps the per-receiver reference
+        # scheduling (the bucketed run loop still applies — it wins at
+        # every scale).  An explicit ``event_batch=True`` forces batching.
+        if event_batch is None:
+            want_batch = sim.event_batch and mobility.n_nodes >= small_n_cutoff
+        else:
+            want_batch = bool(event_batch)
+        self.event_batch: bool = want_batch
+        # Per-node dispatch tables: medium delivery jumps straight to the
+        # routing protocol's handler once one is installed (see
+        # Node.set_routing), skipping the on_receive trampoline.
+        self._handlers: list[Callable[[Packet, int], None]] = []
+        self._overhear_handlers: list[Callable[[Packet, int], None]] = []
+        self._tx_times: dict[int, float] = {}
         # Counters for tests / diagnostics.
         self.congestion_drops = 0
         self.delivered = 0
@@ -128,6 +182,8 @@ class WirelessMedium:
             )
         self.nodes.append(node)
         self._busy_until.append(0.0)
+        self._handlers.append(node.on_receive)
+        self._overhear_handlers.append(node.on_overhear)
         if node.promiscuous:
             self._note_promiscuous(node.node_id, True)
 
@@ -138,6 +194,16 @@ class WirelessMedium:
         else:
             self._promiscuous.discard(node_id)
         self._promiscuous_ids = np.array(sorted(self._promiscuous), dtype=np.int64)
+
+    def _note_handlers(
+        self,
+        node_id: int,
+        receive: Callable[[Packet, int], None],
+        overhear: Callable[[Packet, int], None],
+    ) -> None:
+        """Point the dispatch tables at the node's installed protocol."""
+        self._handlers[node_id] = receive
+        self._overhear_handlers[node_id] = overhear
 
     def _index_usable(self) -> bool:
         """The fast paths assume the medium sees every mobility node.
@@ -177,7 +243,13 @@ class WirelessMedium:
     # Transmission
     # ------------------------------------------------------------------
     def _tx_time(self, packet: Packet) -> float:
-        return packet.size * 8.0 / self.bandwidth_bps + self.mac_overhead
+        # Memoized by size: the arithmetic is deterministic, so the cached
+        # float is bit-identical to recomputing it.
+        tx = self._tx_times.get(packet.size)
+        if tx is None:
+            tx = packet.size * 8.0 / self.bandwidth_bps + self.mac_overhead
+            self._tx_times[packet.size] = tx
+        return tx
 
     def _acquire_transmitter(self, sender: int, tx_time: float) -> float | None:
         """Reserve the sender's transmitter; return the airtime start.
@@ -206,16 +278,72 @@ class WirelessMedium:
         if start is None:
             return False
         arrival = start + tx_time
-        self.sim.schedule_at(arrival, self._deliver_broadcast, sender, packet)
+        if self.event_batch:
+            self.sim.schedule_transient_at(
+                arrival, self._deliver_broadcast_batched, sender, packet
+            )
+        else:
+            self.sim.schedule_at(arrival, self._deliver_broadcast, sender, packet)
         return True
 
     def _deliver_broadcast(self, sender: int, packet: Packet) -> None:
+        """Reference fan-out: one kernel event per surviving receiver."""
         rng = self.sim.rng
         for receiver in self.neighbors(sender):
             if self.loss_rate and rng.random() < self.loss_rate:
                 continue
             jitter = rng.uniform(0.0, 0.002)
             self.sim.schedule(jitter, self._hand_to_node, receiver, packet, sender)
+
+    def _deliver_broadcast_batched(self, sender: int, packet: Packet) -> None:
+        """Macro-event fan-out: all draws in one pass, one queued event.
+
+        Draw order matches :meth:`_deliver_broadcast` exactly: per
+        receiver, an optional loss draw then a jitter draw
+        (``now + 0.002 * random()`` is bit-identical to
+        ``now + rng.uniform(0.0, 0.002)``).  One engine seq is reserved
+        per surviving receiver — precisely the seqs the reference loop's
+        ``schedule`` calls would have consumed — so the batch entries
+        carry the same global ``(time, seq)`` keys either way.  Entries
+        hold the receiver's pre-bound handler; the kernel dispatches them
+        (see ``Simulator._run_bucketed`` / ``_run_macro``).
+        """
+        receivers = self.neighbors(sender)
+        if not receivers:
+            return
+        sim = self.sim
+        rng_random = sim.rng.random
+        now = sim.now
+        loss = self.loss_rate
+        handlers = self._handlers
+        batch = sim.alloc_macro()
+        entries = batch.entries
+        seq = sim._seq
+        if loss:
+            for receiver in receivers:
+                if rng_random() < loss:
+                    continue
+                entries.append((now + 0.002 * rng_random(), seq, handlers[receiver]))
+                seq += 1
+            sim._seq = seq
+        else:
+            # Lossless fast form: the comprehension draws one jitter per
+            # receiver in the same ascending order as the loop above.
+            entries += [
+                (now + 0.002 * rng_random(), s, handlers[receiver])
+                for s, receiver in enumerate(receivers, seq)
+            ]
+            sim._seq = seq + len(receivers)
+        if not entries:
+            sim._macro_pool.append(batch)
+            return
+        # Counted at fan-out (diagnostic only): every entry is a delivery.
+        self.delivered += len(entries)
+        entries.sort()
+        batch.cursor = 0
+        batch.shared_args = (packet, sender)
+        head = entries[0]
+        sim._requeue(head[0], head[1], batch)
 
     def unicast(
         self,
@@ -238,7 +366,14 @@ class WirelessMedium:
         if start is None:
             return False
         arrival = start + tx_time
-        self.sim.schedule_at(arrival, self._deliver_unicast, sender, packet, next_hop, on_fail)
+        if self.event_batch:
+            self.sim.schedule_transient_at(
+                arrival, self._deliver_unicast, sender, packet, next_hop, on_fail
+            )
+        else:
+            self.sim.schedule_at(
+                arrival, self._deliver_unicast, sender, packet, next_hop, on_fail
+            )
         return True
 
     def _deliver_unicast(
@@ -255,7 +390,15 @@ class WirelessMedium:
             and not (self.loss_rate and rng.random() < self.loss_rate)
         )
         if ok:
-            self.sim.schedule(rng.uniform(0.0, 0.001), self._hand_to_node, next_hop, packet, sender)
+            if self.event_batch:
+                # Bit-identical jitter: uniform(0, b) == b * random().
+                self.sim.schedule_transient(
+                    0.001 * rng.random(), self._hand_fast, next_hop, packet, sender
+                )
+            else:
+                self.sim.schedule(
+                    rng.uniform(0.0, 0.001), self._hand_to_node, next_hop, packet, sender
+                )
             self._deliver_taps(sender, packet, next_hop, rng)
         elif on_fail is not None:
             self.sim.schedule(self.retry_delay, on_fail, packet, next_hop)
@@ -301,14 +444,28 @@ class WirelessMedium:
             return
         # Ascending order, exact unit-disc decisions — identical to the
         # naive sweep's visit order and predicate.
-        for bystander in self.index.filter_in_range(ids, x, y, t).tolist():
-            self.sim.schedule(
-                rng.uniform(0.0, 0.001),
-                self.nodes[bystander].on_overhear,
-                packet,
-                sender,
-            )
+        if self.event_batch:
+            overhear = self._overhear_handlers
+            schedule_transient = self.sim.schedule_transient
+            for bystander in self.index.filter_in_range(ids, x, y, t).tolist():
+                schedule_transient(
+                    0.001 * rng.random(), overhear[bystander], packet, sender
+                )
+        else:
+            for bystander in self.index.filter_in_range(ids, x, y, t).tolist():
+                self.sim.schedule(
+                    rng.uniform(0.0, 0.001),
+                    self.nodes[bystander].on_overhear,
+                    packet,
+                    sender,
+                )
 
     def _hand_to_node(self, receiver: int, packet: Packet, sender: int) -> None:
+        """Reference hand-off: through the node's on_receive trampoline."""
         self.delivered += 1
         self.nodes[receiver].on_receive(packet, sender)
+
+    def _hand_fast(self, receiver: int, packet: Packet, sender: int) -> None:
+        """Batched hand-off: straight to the dispatch-table handler."""
+        self.delivered += 1
+        self._handlers[receiver](packet, sender)

@@ -79,6 +79,13 @@ class Node:
         if self.routing is not None:
             raise RuntimeError(f"node {self.node_id} already has a routing protocol")
         self.routing = protocol
+        # Point the medium's dispatch tables straight at the protocol so
+        # batched delivery skips the on_receive/on_overhear trampolines.
+        nodes = self.medium.nodes
+        if self.node_id < len(nodes) and nodes[self.node_id] is self:
+            self.medium._note_handlers(
+                self.node_id, protocol.handle_packet, protocol.handle_overhear
+            )
 
     def register_agent(self, flow_id: int, agent: TrafficAgent) -> None:
         """Register a traffic agent to receive data packets for ``flow_id``."""

@@ -13,6 +13,8 @@ velocity samples and the attack ground truth.
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
@@ -136,6 +138,33 @@ class SimulationTrace:
                 any(s < end and e > start for s, e in self.attack_intervals)
             )
         return labels
+
+
+def trace_fingerprint(trace: SimulationTrace) -> str:
+    """Digest of everything observable about a trace, bit for bit.
+
+    Serializes every per-node packet/route event stream, the sampling
+    ticks, the velocity samples, the attack ground truth and the
+    delivery counters, and hashes the pickle.  Two runs agree on this
+    digest iff they produced byte-identical traces — the equivalence
+    tests *and* the benchmark harness both assert on it, so the
+    fast-path kill switches (``REPRO_SPATIAL_INDEX``,
+    ``REPRO_EVENT_BATCH``) are checked against the same contract
+    everywhere.
+    """
+    recorder_state = [
+        (node.packet_times, node.route_times, node.route_length_samples)
+        for node in trace.recorder.nodes
+    ]
+    payload = pickle.dumps((
+        recorder_state,
+        trace.tick_times,
+        trace.speeds,
+        trace.attack_intervals,
+        trace.data_originated,
+        trace.data_delivered,
+    ))
+    return hashlib.sha256(payload).hexdigest()
 
 
 def build_protocol(node: Node, config: ScenarioConfig):

@@ -135,11 +135,13 @@ class SpatialNeighborIndex:
         oxs, oys = self.mobility.positions_of(ids, t)
         dx = oxs - x
         dy = oys - y
-        d2 = dx * dx + dy * dy
-        inside = d2 <= self._definitely_in
-        band = np.nonzero((~inside) & (d2 <= self._maybe_in))[0]
+        dx *= dx
+        dy *= dy
+        dx += dy  # dx now holds squared distances
+        inside = dx <= self._definitely_in
+        band = np.nonzero(inside != (dx <= self._maybe_in))[0]
         for k in band:  # pragma: no cover - ~1e-12 probability per pair
-            inside[k] = math.hypot(dx[k], dy[k]) <= self.tx_range
+            inside[k] = math.hypot(oxs[k] - x, oys[k] - y) <= self.tx_range
         return ids[inside]
 
     def neighbors(self, node_id: int, t: float, n_nodes: int | None = None) -> list[int]:
@@ -155,15 +157,33 @@ class SpatialNeighborIndex:
         x, y = mob.position(node_id, t)
         mob.advance_all(t)
         candidates = self.candidates_near(x, y, t)
-        if candidates.size == 0:
+        size = candidates.size
+        if size == 0:
             return []
-        keep = candidates != node_id
-        if n_nodes is not None:
-            keep &= candidates < n_nodes
-        candidates = candidates[keep]
-        if candidates.size == 0:
-            return []
-        return self.filter_in_range(candidates, x, y, t).tolist()
+        if n_nodes is not None and int(candidates[size - 1]) >= n_nodes:
+            # Rare (partial stacks only): the medium normally attaches all
+            # mobility nodes, so the sorted tail check short-circuits.
+            candidates = candidates[candidates < n_nodes]
+            size = candidates.size
+            if size == 0:
+                return []
+        # Fused in-place distance filter (same decisions as
+        # filter_in_range, fewer temporaries on this hottest path).
+        oxs, oys = mob.positions_of(candidates, t)
+        dx = oxs - x
+        dy = oys - y
+        dx *= dx
+        dy *= dy
+        dx += dy  # dx now holds squared distances
+        inside = dx <= self._definitely_in
+        band = np.nonzero(inside != (dx <= self._maybe_in))[0]
+        for k in band:  # pragma: no cover - ~1e-12 probability per pair
+            inside[k] = math.hypot(oxs[k] - x, oys[k] - y) <= self.tx_range
+        # Self-exclusion: candidates is sorted, so locate by bisection.
+        pos = int(np.searchsorted(candidates, node_id))
+        if pos < size and candidates[pos] == node_id:
+            inside[pos] = False
+        return candidates[inside].tolist()
 
     def candidates_near(self, x: float, y: float, t: float) -> np.ndarray:
         """All ids whose snapshot cell touches the 3x3 block around (x, y).

@@ -38,6 +38,17 @@ class RouteEventKind(IntEnum):
     REPAIR = 4    #: broken route under repair / salvage
 
 
+class _PacketChannel:
+    """A swappable appender for one ``(ptype, direction)`` event stream.
+
+    ``append(time)`` is the only interface.  With no listeners subscribed
+    it *is* the raw ``list.append`` of the batch log — one C call per
+    event, no Python frame.  When listeners attach, :class:`NodeStats`
+    swaps in a notifying closure, so hot-path callers never check."""
+
+    __slots__ = ("append",)
+
+
 class NodeStats:
     """Trace log of one node.
 
@@ -60,6 +71,7 @@ class NodeStats:
         self.route_times: dict[int, list[float]] = {kind: [] for kind in RouteEventKind}
         self.route_length_samples: list[tuple[float, int]] = []
         self._listeners: list = []
+        self._channels: dict[tuple[int, int], _PacketChannel] = {}
 
     # ------------------------------------------------------------------
     # Streaming taps
@@ -73,35 +85,79 @@ class NodeStats:
         *after* the event is appended to the batch log.
         """
         self._listeners.append(listener)
+        self._rebind_channels()
 
     def unsubscribe(self, listener) -> None:
         """Detach a previously subscribed listener."""
         self._listeners.remove(listener)
+        self._rebind_channels()
+
+    def packet_channel(self, ptype: PacketType, direction: Direction) -> _PacketChannel:
+        """A persistent fast appender for one packet-event stream.
+
+        Hot logging sites (the flood-handler entry points) bind one of
+        these at protocol construction and call ``channel.append(now)``
+        per event — equivalent to :meth:`log_packet` for that fixed
+        ``(ptype, direction)`` pair, including listener notification,
+        but without the dict lookup and method frame.
+        """
+        key = (ptype, direction)
+        channel = self._channels.get(key)
+        if channel is None:
+            channel = _PacketChannel()
+            self._channels[key] = channel
+            self._bind_channel(key, channel)
+        return channel
+
+    def _bind_channel(self, key: tuple[int, int], channel: _PacketChannel) -> None:
+        raw = self.packet_times[key].append
+        if not self._listeners:
+            channel.append = raw
+        else:
+            ptype, direction = key
+            listeners = self._listeners
+
+            def notify(time: float, _raw=raw, _pt=ptype, _dr=direction) -> None:
+                _raw(time)
+                for listener in listeners:
+                    listener.on_packet(time, _pt, _dr)
+
+            channel.append = notify
+
+    def _rebind_channels(self) -> None:
+        for key, channel in self._channels.items():
+            self._bind_channel(key, channel)
 
     def __getstate__(self) -> dict:
         # Listeners are live-session objects (they may hold models or
-        # callbacks); never persist them with a cached trace.
+        # callbacks) and channels capture bound methods; never persist
+        # either with a cached trace.
         state = self.__dict__.copy()
         state["_listeners"] = []
+        state["_channels"] = {}
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self.__dict__.setdefault("_listeners", [])
+        self.__dict__.setdefault("_channels", {})
 
     # ------------------------------------------------------------------
     # Logging
     # ------------------------------------------------------------------
     def log_packet(self, time: float, ptype: PacketType, direction: Direction) -> None:
         """Record one packet event."""
-        self.packet_times[(int(ptype), int(direction))].append(time)
+        # IntEnum members hash/compare equal to their int values, so enum
+        # lookup keys hit the same entries without the int() conversions
+        # (the dict's key *objects* stay enums either way).
+        self.packet_times[ptype, direction].append(time)
         if self._listeners:
             for listener in self._listeners:
                 listener.on_packet(time, ptype, direction)
 
     def log_route_event(self, time: float, kind: RouteEventKind) -> None:
         """Record one route-fabric event."""
-        self.route_times[int(kind)].append(time)
+        self.route_times[kind].append(time)
         if self._listeners:
             for listener in self._listeners:
                 listener.on_route_event(time, kind)

@@ -88,6 +88,59 @@ class TestCancellation:
         assert sim.pending_events == 1
 
 
+class TestPendingCounter:
+    """``pending_events`` is a live O(1) counter, exact in both modes."""
+
+    @pytest.mark.parametrize("event_batch", [False, True])
+    def test_tracks_schedule_dispatch_and_cancel(self, event_batch):
+        sim = Simulator(event_batch=event_batch)
+        observed = []
+        assert sim.pending_events == 0
+        sim.schedule(1.0, lambda: observed.append(sim.pending_events))
+        sim.schedule_at(2.0, lambda: observed.append(sim.pending_events))
+        sim.schedule_transient(3.0, lambda: observed.append(sim.pending_events))
+        victim = sim.schedule(4.0, lambda: observed.append("never"))
+        assert sim.pending_events == 4
+        victim.cancel()
+        assert sim.pending_events == 3
+        victim.cancel()  # idempotent: no double decrement
+        assert sim.pending_events == 3
+        sim.run()
+        # Each callback saw the count *after* its own dispatch decrement.
+        assert observed == [2, 1, 0]
+        assert sim.pending_events == 0
+
+    @pytest.mark.parametrize("event_batch", [False, True])
+    def test_counts_events_scheduled_from_callbacks(self, event_batch):
+        sim = Simulator(event_batch=event_batch)
+        seen = []
+
+        def parent():
+            sim.schedule(0.5, seen.append, sim.pending_events)
+            seen.append(sim.pending_events)
+
+        sim.schedule(1.0, parent)
+        assert sim.pending_events == 1
+        sim.run(until=1.0)
+        # parent dispatched (−1) then scheduled a child (+1).
+        assert seen == [1]
+        assert sim.pending_events == 1
+        sim.run()
+        assert sim.pending_events == 0
+        assert seen == [1, 0]
+
+    def test_interrupted_run_preserves_count(self):
+        sim = Simulator(event_batch=True, lane_quantum=100.0)
+        # All three land in one bucket window; stop() after the first.
+        sim.schedule(1.0, sim.stop)
+        sim.schedule(1.5, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.pending_events == 2
+        sim.run()
+        assert sim.pending_events == 0
+
+
 class TestRunUntil:
     def test_until_leaves_later_events_queued(self):
         sim = Simulator()

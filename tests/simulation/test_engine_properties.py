@@ -9,6 +9,99 @@ from repro.routing.dsr import RouteCache
 from repro.simulation.engine import Simulator
 
 
+@st.composite
+def kernel_programs(draw):
+    """A small scripted event program exercising every kernel entry point.
+
+    Top-level events are scheduled with a mix of relative and absolute
+    calls; when fired, an event may schedule children, fire transient
+    (pooled) callbacks, cancel another top-level handle, or stop the
+    run.  The program is replayed verbatim on both kernel modes.
+    """
+    n = draw(st.integers(min_value=1, max_value=10))
+    times = st.floats(0.0, 10.0, allow_nan=False, allow_infinity=False)
+    events = []
+    for _ in range(n):
+        events.append({
+            "delay": draw(times),
+            "absolute": draw(st.booleans()),
+            "children": draw(st.lists(st.floats(0.0, 3.0, allow_nan=False),
+                                      max_size=2)),
+            "transients": draw(st.lists(st.floats(0.0, 3.0, allow_nan=False),
+                                        max_size=2)),
+            "cancel": draw(st.one_of(st.none(),
+                                     st.integers(0, n - 1))),
+        })
+    return {
+        "events": events,
+        # At most one event calls sim.stop(); the harness resumes after.
+        "stop_index": draw(st.one_of(st.none(), st.integers(0, n - 1))),
+        # run(until=...) segment boundaries before the final drain.
+        "segments": sorted(draw(st.lists(st.floats(0.0, 12.0,
+                                                   allow_nan=False),
+                                         max_size=2))),
+        "lane_quantum": draw(st.sampled_from([0.004, 0.3, 100.0])),
+    }
+
+
+def _execute(program, event_batch):
+    """Run a kernel program; return its complete observable behaviour."""
+    sim = Simulator(
+        seed=0, event_batch=event_batch, lane_quantum=program["lane_quantum"]
+    )
+    log = []
+    handles = []
+
+    def leaf(tag):
+        log.append((sim.now, tag))
+
+    def fire(i):
+        log.append((sim.now, ("top", i)))
+        spec = program["events"][i]
+        for j, delay in enumerate(spec["children"]):
+            sim.schedule(delay, leaf, ("child", i, j))
+        for j, delay in enumerate(spec["transients"]):
+            sim.schedule_transient(delay, leaf, ("transient", i, j))
+        if spec["cancel"] is not None:
+            handles[spec["cancel"]].cancel()
+        if program["stop_index"] == i:
+            sim.stop()
+
+    for i, spec in enumerate(program["events"]):
+        if spec["absolute"]:
+            handles.append(sim.schedule_at(spec["delay"], fire, i))
+        else:
+            handles.append(sim.schedule(spec["delay"], fire, i))
+    for until in program["segments"]:
+        sim.run(until=until)
+    sim.run()
+    return log, sim.processed_events, sim.pending_events, sim.now
+
+
+class TestKernelModeEquivalence:
+    """Bucketed lane vs pure-heap reference: identical execution order.
+
+    The bucketed kernel must be observationally indistinguishable from
+    the reference loop — same events in the same ``(time, seq)`` order
+    at the same clock readings, same live pending count, same processed
+    total — under cancellation, nested scheduling, transient pooling,
+    ``stop()`` and segmented ``run(until=...)`` resumption.
+    """
+
+    @given(program=kernel_programs())
+    @settings(max_examples=200, deadline=None)
+    def test_bucketed_matches_reference(self, program):
+        reference = _execute(program, event_batch=False)
+        bucketed = _execute(program, event_batch=True)
+        assert bucketed == reference
+
+    @given(program=kernel_programs())
+    @settings(max_examples=50, deadline=None)
+    def test_reference_log_is_time_ordered(self, program):
+        log, _, _, _ = _execute(program, event_batch=False)
+        assert [t for t, _ in log] == sorted(t for t, _ in log)
+
+
 class TestEngineProperties:
     @given(delays=st.lists(st.floats(0.0, 1000.0, allow_nan=False), min_size=1,
                            max_size=50))

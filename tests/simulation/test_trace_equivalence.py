@@ -1,56 +1,58 @@
-"""End-to-end trace equivalence: spatial index vs naive reference scan.
+"""End-to-end trace equivalence: fast-pathed kernel vs naive reference.
 
 The PR's hard constraint: the fast-pathed kernel must produce traces that
 are *byte-identical* to the pre-optimization reference — every packet
-event, every sampling tick, every RNG-dependent jitter.  Each test runs
-the same seeded scenario twice (``REPRO_SPATIAL_INDEX=0`` → naive scan,
-``=1`` → grid index) and compares the complete serialized trace.
-"""
+event, every sampling tick, every RNG-dependent jitter.  Two kill
+switches gate the fast paths independently:
 
-import pickle
+* ``REPRO_SPATIAL_INDEX`` — grid neighbor index vs naive O(N) scan;
+* ``REPRO_EVENT_BATCH`` — macro-event delivery fan-out + bucketed
+  scheduling + packet pooling vs per-receiver heap scheduling.
+
+Each test runs the same seeded scenario under the pure reference mode
+(both switches off) and the fully optimized mode (both on) and compares
+the complete serialized trace via the shared
+:func:`~repro.simulation.scenario.trace_fingerprint` digest — the same
+digest the benchmark harness asserts in-run.  The 30-node matrix
+additionally runs the two mixed modes (index only / batch only) so each
+switch is validated in isolation.  Note both fast paths resolve their
+env default to the reference behaviour below ``SMALL_N_CUTOFF`` (48)
+nodes — at 30 nodes the mode matrix covers the bucketed run loop and
+the default-resolution plumbing, while the 64- and 100-node tests are
+the ones that actually drive the grid index and the macro fan-out.
+"""
 
 import pytest
 
 from repro.attacks import BlackholeAttack, DropMode, PacketDroppingAttack
-from repro.simulation.scenario import ScenarioConfig, run_scenario
+from repro.simulation.scenario import (
+    ScenarioConfig,
+    run_scenario,
+    trace_fingerprint,
+)
+
+REFERENCE = ("0", "0")  #: (REPRO_SPATIAL_INDEX, REPRO_EVENT_BATCH)
+OPTIMIZED = ("1", "1")
+MIXED = (("1", "0"), ("0", "1"))
 
 
-def trace_fingerprint(trace) -> bytes:
-    """Serialize everything observable about a trace, bit for bit."""
-    recorder_state = [
-        {
-            "packets": trace.recorder[i].packet_times,
-            "routes": trace.recorder[i].route_times,
-            "lengths": trace.recorder[i].route_length_samples,
-        }
-        for i in range(trace.n_nodes)
-    ]
-    return pickle.dumps((
-        recorder_state,
-        trace.tick_times,
-        trace.speeds,
-        trace.attack_intervals,
-        trace.data_originated,
-        trace.data_delivered,
-    ))
+def run_modes(config, attacks, monkeypatch, modes):
+    traces = []
+    for index, batch in modes:
+        monkeypatch.setenv("REPRO_SPATIAL_INDEX", index)
+        monkeypatch.setenv("REPRO_EVENT_BATCH", batch)
+        traces.append(run_scenario(config, attacks))
+    return traces
 
 
-def run_both_modes(config, attacks, monkeypatch):
-    monkeypatch.setenv("REPRO_SPATIAL_INDEX", "0")
-    naive = run_scenario(config, attacks)
-    monkeypatch.setenv("REPRO_SPATIAL_INDEX", "1")
-    indexed = run_scenario(config, attacks)
-    return naive, indexed
-
-
-def assert_equivalent(naive, indexed):
+def assert_equivalent(reference, other):
     # Counters first: a cheap mismatch gives a readable failure before
     # the byte-level comparison.
-    assert naive.recorder.total_packets() == indexed.recorder.total_packets()
-    assert naive.data_originated == indexed.data_originated
-    assert naive.data_delivered == indexed.data_delivered
-    assert naive.tick_times == indexed.tick_times
-    assert trace_fingerprint(naive) == trace_fingerprint(indexed)
+    assert reference.recorder.total_packets() == other.recorder.total_packets()
+    assert reference.data_originated == other.data_originated
+    assert reference.data_delivered == other.data_delivered
+    assert reference.tick_times == other.tick_times
+    assert trace_fingerprint(reference) == trace_fingerprint(other)
 
 
 def make_attacks(kind: str, n_nodes: int, duration: float):
@@ -70,16 +72,19 @@ def make_attacks(kind: str, n_nodes: int, duration: float):
 @pytest.mark.parametrize("protocol", ["aodv", "dsr"])
 @pytest.mark.parametrize("attack", ["none", "blackhole"])
 def test_30_node_trace_equivalence(protocol, attack, monkeypatch):
-    """30-node scenarios, both protocols, with and without an attack."""
+    """30-node scenarios: every kill-switch combination agrees."""
     config = ScenarioConfig(
         protocol=protocol, n_nodes=30, duration=60.0, max_connections=20, seed=11
     )
-    naive, indexed = run_both_modes(
-        config, make_attacks(attack, 30, 60.0), monkeypatch
+    attacks = make_attacks(attack, 30, 60.0)
+    reference, optimized, index_only, batch_only = run_modes(
+        config, attacks, monkeypatch, (REFERENCE, OPTIMIZED, *MIXED)
     )
-    assert_equivalent(naive, indexed)
+    assert_equivalent(reference, optimized)
+    assert_equivalent(reference, index_only)
+    assert_equivalent(reference, batch_only)
     # The scenarios must actually exercise the medium.
-    assert indexed.recorder.total_packets() > 0
+    assert optimized.recorder.total_packets() > 0
 
 
 @pytest.mark.parametrize(
@@ -91,14 +96,33 @@ def test_100_node_trace_equivalence(protocol, attack, monkeypatch):
 
     DSR runs promiscuous taps, exercising the skipped-bystander-sweep
     fast path; the dropping attack exercises unicast failure feedback.
+    Lossy variants of these run in ``test_medium.py``; here the macro
+    batches are full-size (no loss culling).
     """
     config = ScenarioConfig(
         protocol=protocol, n_nodes=100, duration=12.0, max_connections=30, seed=23
     )
-    naive, indexed = run_both_modes(
-        config, make_attacks(attack, 100, 12.0), monkeypatch
+    attacks = make_attacks(attack, 100, 12.0)
+    reference, optimized = run_modes(
+        config, attacks, monkeypatch, (REFERENCE, OPTIMIZED)
     )
-    assert_equivalent(naive, indexed)
+    assert_equivalent(reference, optimized)
+
+
+def test_lossy_medium_equivalence(monkeypatch):
+    """Packet loss culls macro-batch entries mid-draw; RNG order must hold.
+
+    64 nodes: above ``SMALL_N_CUTOFF``, so the env-default resolution
+    actually engages the macro fan-out being tested.
+    """
+    config = ScenarioConfig(
+        protocol="aodv", n_nodes=64, duration=30.0, max_connections=20,
+        loss_rate=0.15, seed=47,
+    )
+    reference, optimized = run_modes(
+        config, [], monkeypatch, (REFERENCE, OPTIMIZED)
+    )
+    assert_equivalent(reference, optimized)
 
 
 def test_tcp_transport_equivalence(monkeypatch):
@@ -107,5 +131,5 @@ def test_tcp_transport_equivalence(monkeypatch):
         protocol="dsr", transport="tcp", n_nodes=25, duration=50.0,
         max_connections=15, seed=31,
     )
-    naive, indexed = run_both_modes(config, [], monkeypatch)
-    assert_equivalent(naive, indexed)
+    reference, optimized = run_modes(config, [], monkeypatch, (REFERENCE, OPTIMIZED))
+    assert_equivalent(reference, optimized)
