@@ -22,6 +22,7 @@ artifacts in a content-addressed on-disk cache (``~/.cache/repro`` or
 ``$REPRO_CACHE_DIR``), so a warm re-run performs zero simulations.
 """
 
+from repro.attribution import ANOMALY_TYPES, AlarmAttributor, Verdict
 from repro.core import (
     CrossFeatureDetector,
     CrossFeatureModel,
@@ -61,7 +62,9 @@ from repro.stream import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ANOMALY_TYPES",
     "Alarm",
+    "AlarmAttributor",
     "ArtifactCache",
     "C45Classifier",
     "CLASSIFIERS",
@@ -91,6 +94,7 @@ __all__ = [
     "TraceBundle",
     "TraceEvent",
     "TwoNodeExample",
+    "Verdict",
     "average_match_count",
     "average_probability",
     "default_session",

@@ -270,6 +270,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         seed=args.stream_seed,
         attack=not args.normal,
         row_policy=args.row_policy,
+        attribution=args.attribution,
         checkpoint=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         resume_from=args.resume,
@@ -332,6 +333,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         monitors=monitors,
         quorum=quorum,
         row_policy=args.row_policy,
+        attribution=args.attribution,
         stall_timeout=args.stall_timeout,
         checkpoint=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
@@ -379,6 +381,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     import os
 
     from repro.runtime.bench import (
+        run_attribution_bench,
         run_fleet_bench,
         run_model_bench,
         run_simulator_bench,
@@ -397,6 +400,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         suites.append(("fleet", run_fleet_bench))
     if args.suite in ("stream-chaos", "all"):
         suites.append(("stream_chaos", run_stream_chaos_bench))
+    if args.suite == "attribution":
+        suites.append(("attribution", run_attribution_bench))
     for name, runner in suites:
         print(f"benchmarking {name} ({'quick' if args.quick else 'full'}) ...")
         payload = runner(quick=args.quick)
@@ -471,6 +476,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="mobility seed of the streamed trace (default: the "
                             "plan's first attack seed, or first normal seed "
                             "with --normal)")
+    p_str.add_argument("--attribution", action="store_true",
+                       help="classify each alarm: [ALARM] lines gain "
+                            "type=<anomaly class> features=<culprits> "
+                            "onset=<estimated start> fragments "
+                            "(scores/alarms unchanged)")
     _add_durability_args(p_str)
     p_str.set_defaults(func=cmd_stream)
 
@@ -500,6 +510,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fused-alarm vote: an integer is absolute k-of-n; "
                             "a fraction in (0,1] is a share of the streams "
                             "reporting on that tick (default: 1)")
+    p_flt.add_argument("--attribution", action="store_true",
+                       help="classify alarms per lane and fuse typed votes: "
+                            "[ALARM]/[FUSED] lines gain type=... features=... "
+                            "fragments (scores/alarms unchanged)")
     _add_durability_args(p_flt)
     p_flt.add_argument("--stall-timeout", type=float, default=None,
                        metavar="SECONDS",
@@ -520,8 +534,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--suite",
                          choices=["simulator", "model", "fleet",
-                                  "stream-chaos", "all"],
-                         default="all")
+                                  "stream-chaos", "attribution", "all"],
+                         default="all",
+                         help="'attribution' runs the attack-taxonomy "
+                              "classification harness (its own CI leg; not "
+                              "part of 'all')")
     p_bench.add_argument("--quick", action="store_true",
                          help="CI-scale workloads (seconds instead of minutes)")
     p_bench.add_argument("--out-dir", default=".", metavar="DIR",

@@ -362,6 +362,61 @@ class CrossFeatureModel:
             )
         raise ValueError(f"unknown method: {method!r}")
 
+    def _calibrated_outputs(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row ``(p_true, calibrated)`` sub-model matrices for ``X``.
+
+        ``calibrated`` falls back to the raw probabilities before
+        :meth:`calibrate`; one ``_sub_model_outputs`` pass covers every
+        row, so batched callers (attribution over all alarming windows)
+        pay one discretize + tree-walk instead of one per row.
+        """
+        _, p_true = self._sub_model_outputs(X)
+        if self.baseline_ is not None:
+            calibrated = np.minimum(
+                p_true / np.maximum(self.baseline_, self._MIN_BASELINE), 1.0
+            )
+        else:
+            calibrated = p_true
+        return p_true, calibrated
+
+    def explain_batch(self, X: np.ndarray, top_k: int = 10) -> list[list[dict]]:
+        """Batched :meth:`explain`: one entry list per row of ``X``.
+
+        All rows share a single ``_sub_model_outputs`` pass (one
+        discretizer transform + one frontier-batched tree walk per
+        sub-model), so explaining N alarming windows costs one scoring
+        call instead of N — entry-for-entry identical to calling
+        :meth:`explain` per row.
+        """
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        p_true, calibrated = self._calibrated_outputs(X)
+        # Stable sort so tied sub-models rank in ensemble order instead
+        # of the introsort's arbitrary (input-layout-dependent) order.
+        order = np.argsort(calibrated, axis=1, kind="stable")[:, :top_k]
+        results: list[list[dict]] = []
+        for r in range(len(X)):
+            entries = []
+            for m in order[r]:
+                target = self.targets_[m]
+                name = (
+                    self.feature_names_[target]
+                    if self.feature_names_ is not None
+                    else target
+                )
+                entries.append({
+                    "feature": name,
+                    "target": int(target),
+                    "p_true": float(p_true[r, m]),
+                    "baseline": (
+                        float(self.baseline_[m]) if self.baseline_ is not None else None
+                    ),
+                    "calibrated": float(calibrated[r, m]),
+                })
+            results.append(entries)
+        return results
+
     def explain(self, x: np.ndarray, top_k: int = 10) -> list[dict]:
         """Which sub-models consider one event anomalous, and how strongly.
 
@@ -372,44 +427,21 @@ class CrossFeatureModel:
         (calibrated against their normal baseline when available),
         most-anomalous first.
 
-        Each entry has ``feature`` (name or index), ``p_true`` (the
-        sub-model's probability for the observed bucket), ``baseline``
-        (its typical probability on held-out normal data, None before
+        Each entry has ``feature`` (name or index), ``target`` (the
+        labelled feature's column index in the feature vector — always
+        present, so entries join back to the vector and its discretizer
+        buckets even when names are set), ``p_true`` (the sub-model's
+        probability for the observed bucket), ``baseline`` (its typical
+        probability on held-out normal data, None before
         :meth:`calibrate`) and ``calibrated`` (their floored ratio).
+        Use :meth:`explain_batch` for many events at once.
         """
         x = np.asarray(x, dtype=float)
         if x.ndim == 1:
             x = x[None, :]
         if len(x) != 1:
             raise ValueError("explain() takes exactly one event")
-        _, p_true = self._sub_model_outputs(x)
-        p_true = p_true[0]
-        if self.baseline_ is not None:
-            calibrated = np.minimum(
-                p_true / np.maximum(self.baseline_, self._MIN_BASELINE), 1.0
-            )
-        else:
-            calibrated = p_true
-        # Stable sort so tied sub-models rank in ensemble order instead
-        # of the introsort's arbitrary (input-layout-dependent) order.
-        order = np.argsort(calibrated, kind="stable")[:top_k]
-        entries = []
-        for m in order:
-            target = self.targets_[m]
-            name = (
-                self.feature_names_[target]
-                if self.feature_names_ is not None
-                else target
-            )
-            entries.append({
-                "feature": name,
-                "p_true": float(p_true[m]),
-                "baseline": (
-                    float(self.baseline_[m]) if self.baseline_ is not None else None
-                ),
-                "calibrated": float(calibrated[m]),
-            })
-        return entries
+        return self.explain_batch(x, top_k=top_k)[0]
 
     @property
     def n_models(self) -> int:
@@ -489,3 +521,8 @@ class CrossFeatureDetector:
         """Per-sub-model anomaly attribution for one event (see
         :meth:`CrossFeatureModel.explain`)."""
         return self.model.explain(x, top_k=top_k)
+
+    def explain_batch(self, X: np.ndarray, top_k: int = 10) -> list[list[dict]]:
+        """Batched anomaly attribution, one entry list per row (see
+        :meth:`CrossFeatureModel.explain_batch`)."""
+        return self.model.explain_batch(X, top_k=top_k)

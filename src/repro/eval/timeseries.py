@@ -22,10 +22,26 @@ class ScoreSeries:
     scores: np.ndarray
 
     def mean_in(self, start: float, end: float) -> float:
-        """Mean score over windows ending inside ``[start, end)``."""
-        mask = (self.times >= start) & (self.times < end)
+        """Mean score over windows ending inside ``[start, end)``.
+
+        The interval is half-open: a window ending exactly at ``start``
+        is included, one ending exactly at ``end`` is not.  An empty
+        probe names the series' actual coverage — when attribution (or a
+        plot) probes an attack session that lies outside the scored
+        windows, "no windows" alone is unactionable.
+        """
+        times = np.asarray(self.times, dtype=float)
+        mask = (times >= start) & (times < end)
         if not mask.any():
-            raise ValueError(f"no windows in [{start}, {end})")
+            if len(times) == 0:
+                raise ValueError(
+                    f"no windows in [{start:g}, {end:g}): the series is empty"
+                )
+            raise ValueError(
+                f"no windows in [{start:g}, {end:g}): the series covers "
+                f"[{times.min():g}, {times.max():g}] "
+                f"({len(times)} windows)"
+            )
         return float(self.scores[mask].mean())
 
 

@@ -27,12 +27,15 @@
 * :func:`~repro.runtime.bench.run_simulator_bench` /
   :func:`~repro.runtime.bench.run_model_bench` /
   :func:`~repro.runtime.bench.run_fleet_bench` /
-  :func:`~repro.runtime.bench.run_stream_chaos_bench` — the benchmark
+  :func:`~repro.runtime.bench.run_stream_chaos_bench` /
+  :func:`~repro.runtime.bench.run_attribution_bench` — the benchmark
   harness behind ``python -m repro bench`` and the committed
   ``BENCH_*.json`` baselines.
 """
 
 from repro.runtime.bench import (
+    ATTRIBUTION_ACCURACY_FLOOR,
+    run_attribution_bench,
     run_fleet_bench,
     run_model_bench,
     run_simulator_bench,
@@ -59,6 +62,7 @@ from repro.runtime.metrics import RuntimeMetrics, TraceEvent
 from repro.runtime.session import Session, default_session, set_default_session
 
 __all__ = [
+    "ATTRIBUTION_ACCURACY_FLOOR",
     "ArtifactCache",
     "FailureReport",
     "FaultPlan",
@@ -76,6 +80,7 @@ __all__ = [
     "code_version",
     "default_cache_dir",
     "default_session",
+    "run_attribution_bench",
     "run_fleet_bench",
     "run_model_bench",
     "run_simulator_bench",

@@ -45,6 +45,16 @@ by ``python -m repro bench``):
   corrupt-checkpoint fingerprint check are asserted in-harness before
   any number is recorded; survival stats (rows quarantined, lanes
   sealed and why) ride the entries.
+* :func:`run_attribution_bench` — typed alarms.  Streams the full
+  attack taxonomy (flooding / blackhole / dropping / impersonation ×
+  AODV / DSR) through an :class:`~repro.stream.OnlineDetector` with
+  attribution off (baseline) and on (optimized — the annotation
+  *overhead*, so a ratio below 1 is expected), asserting in-harness
+  that scores and alarms are bit-identical in both modes and under the
+  ``REPRO_ATTRIBUTION=0`` kill switch.  Each attack cell's alarm
+  verdicts vote a majority anomaly type; the payload carries the full
+  confusion matrix and the full (non-quick) run asserts macro
+  cell-majority accuracy ≥ :data:`ATTRIBUTION_ACCURACY_FLOOR`.
 
 Every entry records ``baseline_seconds`` (the pre-optimization path,
 which is kept in-tree as the reference implementation), ``optimized_seconds``
@@ -118,6 +128,20 @@ def _event_batch(enabled: bool) -> Iterator[None]:
             del os.environ["REPRO_EVENT_BATCH"]
         else:
             os.environ["REPRO_EVENT_BATCH"] = prior
+
+
+@contextmanager
+def _attribution(enabled: bool) -> Iterator[None]:
+    """Force the stream layer's attribution default for the enclosed block."""
+    prior = os.environ.get("REPRO_ATTRIBUTION")
+    os.environ["REPRO_ATTRIBUTION"] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if prior is None:
+            del os.environ["REPRO_ATTRIBUTION"]
+        else:
+            os.environ["REPRO_ATTRIBUTION"] = prior
 
 
 @contextmanager
@@ -807,5 +831,212 @@ def run_stream_chaos_bench(quick: bool = False, seed: int = 0) -> dict:
         "quick": quick,
         "seed": seed,
         "environment": _environment(),
+        "entries": entries,
+    }
+
+
+# ----------------------------------------------------------------------
+# attribution suite
+# ----------------------------------------------------------------------
+#: Minimum macro cell-majority classification accuracy the full suite
+#: asserts: the majority verdict over each attack cell's alarms must
+#: name the right class for at least 3 of the 4 attack kinds on
+#: average across protocols.  The committed baseline sits well above
+#: this floor; per-row accuracy (noisier, reported not asserted) rides
+#: the payload for trend-watching.
+ATTRIBUTION_ACCURACY_FLOOR = 0.75
+
+
+def run_attribution_bench(quick: bool = False, seed: int = 41) -> dict:
+    """Typed-alarm suite: attribution overhead + attack-taxonomy accuracy.
+
+    For every attack kind × protocol cell it trains a per-protocol
+    model on clean traces (two training seeds + one calibration seed),
+    streams the attacked trace through an
+    :class:`~repro.stream.OnlineDetector` three ways — attribution off,
+    attribution on, and attribution requested but killed via
+    ``REPRO_ATTRIBUTION=0`` — and asserts *in-harness* that all three
+    produce ``np.array_equal`` scores and identical alarm sets before
+    any number is recorded.  Baseline = the off pass, optimized = the
+    on pass, so the recorded "speedup" is the verdict-annotation
+    overhead (expected below 1).
+
+    Classification quality is scored two ways: per alarming window
+    inside attack sessions (``row_accuracy``) and per cell by majority
+    vote over those windows (what an operator reads for a scenario).
+    The payload's ``classification`` block carries both plus the
+    confusion matrix; the full run asserts macro cell-majority accuracy
+    ≥ :data:`ATTRIBUTION_ACCURACY_FLOOR`.
+    """
+    from repro.attacks import (
+        BlackholeAttack,
+        ImpersonationAttack,
+        PacketDroppingAttack,
+        UpdateStormAttack,
+        periodic_sessions,
+    )
+    from repro.attribution import ANOMALY_TYPES, UNKNOWN
+    from repro.core.model import CrossFeatureModel
+    from repro.features import extract_features
+    from repro.simulation.scenario import ScenarioConfig, run_scenario
+    from repro.stream.detector import OnlineDetector
+    from repro.stream.extractor import WindowRow
+
+    protocols = ("aodv",) if quick else ("aodv", "dsr")
+    n_nodes = 12 if quick else 20
+    duration = 400.0 if quick else 1000.0
+    warmup = 100.0
+    method = "calibrated_probability"
+    attack_kinds = ("flooding", "blackhole", "dropping", "impersonation")
+    precedence = list(ANOMALY_TYPES) + [UNKNOWN]
+
+    entries = []
+    confusion: dict[str, dict[str, int]] = {a: {} for a in attack_kinds}
+    cell_tally = {a: [0, 0] for a in attack_kinds}  # [correct, total]
+    row_tally = {a: [0, 0] for a in attack_kinds}
+
+    for protocol in protocols:
+        def config(s: int) -> ScenarioConfig:
+            return ScenarioConfig(
+                protocol=protocol, n_nodes=n_nodes, duration=duration,
+                max_connections=100, seed=s,
+            )
+
+        def dataset(s: int, attacks=None):
+            trace = run_scenario(config(s), attacks=attacks or [])
+            return extract_features(trace, monitor=0, warmup=warmup)
+
+        train_a, train_b, cal = dataset(11), dataset(12), dataset(13)
+        model = CrossFeatureModel()
+        model.fit(
+            np.vstack([train_a.X, train_b.X]),
+            feature_names=train_a.feature_names,
+        )
+        model.calibrate(cal.X)
+        # The 2nd percentile of calibration scores: alarms stay rare on
+        # clean traffic while attack windows still trip in bulk.
+        threshold = float(np.percentile(model.normality_score(cal.X, method), 2))
+        sessions = periodic_sessions(0.25 * duration, 0.05 * duration, duration)
+        period = config(seed).sampling_period
+        attacker = n_nodes - 1
+        make_attack = {
+            "flooding": lambda: UpdateStormAttack(
+                attacker=attacker, sessions=sessions, rate=25.0),
+            "blackhole": lambda: BlackholeAttack(
+                attacker=attacker, sessions=sessions),
+            "dropping": lambda: PacketDroppingAttack(
+                attacker=attacker, sessions=sessions, destination=0),
+            "impersonation": lambda: ImpersonationAttack(
+                attacker=attacker, victim=1, sessions=sessions, rate=4.0),
+        }
+
+        for kind in attack_kinds:
+            ds = dataset(seed, attacks=[make_attack[kind]()])
+            rows = [
+                WindowRow(index=k, time=float(t), monitor=0, features=ds.X[k])
+                for k, t in enumerate(ds.times)
+            ]
+
+            def stream(attribution: bool):
+                online = OnlineDetector(
+                    model, threshold, method=method, attribution=attribution)
+                t0 = time.perf_counter()
+                for row in rows:
+                    online.consume(row)
+                return online, time.perf_counter() - t0
+
+            off, off_s = stream(False)
+            on, on_s = stream(True)
+            with _attribution(False):
+                killed, _ = stream(True)
+
+            cell = f"{protocol}/{kind}"
+            if killed.attribution is not None:
+                raise AssertionError(
+                    f"{cell}: REPRO_ATTRIBUTION=0 did not disable attribution")
+            for label, other in (("on", on), ("killed", killed)):
+                if not np.array_equal(
+                    np.asarray(other.scores), np.asarray(off.scores)
+                ):
+                    raise AssertionError(
+                        f"{cell}: scores diverged with attribution {label}")
+                if [(a.index, a.time, a.score) for a in other.alarms] != \
+                        [(a.index, a.time, a.score) for a in off.alarms]:
+                    raise AssertionError(
+                        f"{cell}: alarms diverged with attribution {label}")
+            if any(a.verdict is None for a in on.alarms):
+                raise AssertionError(f"{cell}: alarm missing its verdict")
+            if any(a.verdict is not None for a in off.alarms) or \
+                    any(a.verdict is not None for a in killed.alarms):
+                raise AssertionError(f"{cell}: verdict leaked with attribution off")
+
+            votes = [
+                a.verdict.anomaly_type for a in on.alarms
+                if any(s <= a.time <= e + period for s, e in sessions)
+            ]
+            counts: dict[str, int] = {}
+            for v in votes:
+                counts[v] = counts.get(v, 0) + 1
+                row_tally[kind][1] += 1
+                row_tally[kind][0] += v == kind
+                confusion[kind][v] = confusion[kind].get(v, 0) + 1
+            majority = None
+            if counts:
+                majority = min(
+                    counts,
+                    key=lambda n: (
+                        -counts[n],
+                        precedence.index(n) if n in precedence else len(precedence),
+                    ),
+                )
+            cell_tally[kind][1] += 1
+            cell_tally[kind][0] += majority == kind
+            entries.append(_entry(
+                f"attribution/{cell}",
+                off_s,
+                on_s,
+                kind="attribution",
+                windows=len(rows),
+                alarms=len(on.alarms),
+                attack_window_alarms=len(votes),
+                majority_verdict=majority,
+                row_accuracy=round(
+                    counts.get(kind, 0) / len(votes), 3) if votes else None,
+                identity=(
+                    "scores/alarms np.array_equal with attribution off, on "
+                    "and killed via REPRO_ATTRIBUTION=0"
+                ),
+            ))
+
+    per_class_cell = {
+        a: round(c / t, 3) if t else None for a, (c, t) in cell_tally.items()
+    }
+    per_class_row = {
+        a: round(c / t, 3) if t else 0.0 for a, (c, t) in row_tally.items()
+    }
+    macro_cell = float(np.mean([v for v in per_class_cell.values() if v is not None]))
+    macro_row = float(np.mean(list(per_class_row.values())))
+    if not quick and macro_cell < ATTRIBUTION_ACCURACY_FLOOR:
+        raise AssertionError(
+            f"macro cell-majority accuracy {macro_cell:.3f} fell below the "
+            f"{ATTRIBUTION_ACCURACY_FLOOR} floor"
+        )
+
+    return {
+        "suite": "attribution",
+        "quick": quick,
+        "seed": seed,
+        "environment": _environment(),
+        "classification": {
+            "accuracy_floor": ATTRIBUTION_ACCURACY_FLOOR,
+            "macro_cell_accuracy": round(macro_cell, 3),
+            "macro_row_accuracy": round(macro_row, 3),
+            "per_class_cell_accuracy": per_class_cell,
+            "per_class_row_accuracy": per_class_row,
+            "confusion": {
+                a: {k: v for k, v in sorted(confusion[a].items())}
+                for a in attack_kinds
+            },
+        },
         "entries": entries,
     }

@@ -55,6 +55,10 @@ class TraceEvent:
     * ``"fused_alarm"`` — a fleet run's cross-monitor quorum fused the
       per-stream alarms into a network-level verdict (``label``
       describes it, ``seconds`` holds the batch scoring latency);
+    * ``"verdict"`` — attribution classified an alarm (``label`` holds
+      the typed ``type=... features=...`` fragment; the alarm's own
+      ``"alarm"``/``"fused_alarm"`` event carries the same fragment, so
+      the CLI prints alarms once and this event stays count-only);
     * ``"fleet_batch"`` — the fleet scored one tick's window bucket in
       a single vectorized call (``label`` holds the batch size,
       ``seconds`` the call's wall-clock);
@@ -108,6 +112,7 @@ class RuntimeMetrics:
         self.cache_write_failures = 0
         self.alarms = 0
         self.fused_alarms = 0
+        self.verdicts = 0
         self.fleet_batches = 0
         self.fleet_windows = 0
         self.stream_faults = 0
@@ -209,6 +214,11 @@ class RuntimeMetrics:
         self.fused_alarms += 1
         self._emit("fused_alarm", label, latency_s)
 
+    def record_verdict(self, label: str = "") -> None:
+        """Attribution attached a typed verdict to an alarm."""
+        self.verdicts += 1
+        self._emit("verdict", label)
+
     def record_fleet_batch(self, size: int, seconds: float = 0.0) -> None:
         """One vectorized fleet scoring call covered ``size`` windows."""
         self.fleet_batches += 1
@@ -271,6 +281,7 @@ class RuntimeMetrics:
         self.cache_write_failures = 0
         self.alarms = 0
         self.fused_alarms = 0
+        self.verdicts = 0
         self.fleet_batches = 0
         self.fleet_windows = 0
         self.stream_faults = 0
@@ -305,6 +316,8 @@ class RuntimeMetrics:
             extras.append(f"{self.alarms} alarms")
         if self.fused_alarms:
             extras.append(f"{self.fused_alarms} fused alarms")
+        if self.verdicts:
+            extras.append(f"{self.verdicts} typed verdicts")
         if self.fleet_batches:
             extras.append(
                 f"{self.fleet_windows} fleet windows in "

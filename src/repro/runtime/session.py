@@ -433,6 +433,7 @@ class Session:
         n_jobs: int | None = 1,
         on_alarm: "Callable[[Alarm], None] | None" = None,
         row_policy: str | None = None,
+        attribution: bool = False,
         checkpoint: "str | os.PathLike | None" = None,
         checkpoint_every: int | None = None,
         resume_from: "str | os.PathLike | None" = None,
@@ -459,11 +460,16 @@ class Session:
         attack:
             ``False`` streams an intrusion-free trace instead (expected
             alarm rate ≈ the calibrated false-alarm rate).
-        monitor, warmup, threshold, on_alarm, row_policy:
+        monitor, warmup, threshold, on_alarm, row_policy, attribution:
             The shared construction keywords (see
             :mod:`repro.stream.config`); ``None`` defaults to the plan's
             monitor / warmup, the calibrated threshold and the shared
-            row policy.
+            row policy.  ``attribution=True`` attaches a typed
+            :class:`~repro.attribution.Verdict` to every alarm — the
+            ``"alarm"`` metrics events gain ``type=... features=...``
+            fragments and each verdict is counted via
+            :meth:`RuntimeMetrics.record_verdict` (scores and alarm
+            decisions are unchanged).
         checkpoint, checkpoint_every, resume_from:
             Durable-run knobs (see :mod:`repro.stream.durability`):
             ``checkpoint`` snapshots the full streaming state every
@@ -521,11 +527,16 @@ class Session:
         )
 
         def relay(alarm: "Alarm") -> None:
-            self.metrics.record_alarm(
+            label = (
                 f"window t={alarm.time:g}s score={alarm.score:.4f} "
-                f"< {alarm.threshold:.4f}",
-                alarm.latency_s,
+                f"< {alarm.threshold:.4f}"
             )
+            if alarm.verdict is not None:
+                label += f" {alarm.verdict.summary()}"
+                self.metrics.record_verdict(
+                    f"t={alarm.time:g}s {alarm.verdict.summary()}"
+                )
+            self.metrics.record_alarm(label, alarm.latency_s)
             if on_alarm is not None:
                 on_alarm(alarm)
 
@@ -538,6 +549,7 @@ class Session:
         online = OnlineDetector.from_detector(
             detector, threshold=threshold, monitor=monitor, on_alarm=relay,
             row_policy=row_policy, on_fault=relay_fault,
+            attribution=attribution,
         )
         injector = (
             RowFaultInjector(stream_faults, f"n{monitor}", deliver=online.consume)
@@ -601,6 +613,7 @@ class Session:
         on_alarm: "Callable[[Alarm], None] | None" = None,
         on_fused: "Callable[[FleetAlarm], None] | None" = None,
         row_policy: str | None = None,
+        attribution: bool = False,
         max_consecutive_faults: int | None = None,
         stall_timeout: float | None = None,
         checkpoint: "str | os.PathLike | None" = None,
@@ -637,6 +650,14 @@ class Session:
             The shared construction keywords (see
             :mod:`repro.stream.config`); ``monitors=None`` watches every
             node except the plan's attacker.
+        attribution:
+            ``True`` attaches typed verdicts per lane alarm and a fused
+            verdict (majority vote over the alarming lanes) per
+            :class:`~repro.stream.FleetAlarm`; the ``"alarm"`` /
+            ``"fused_alarm"`` metrics events gain ``type=...``
+            fragments and verdicts are counted via
+            :meth:`RuntimeMetrics.record_verdict`.  Scores, alarm sets
+            and fused timing are unchanged.
         row_policy, max_consecutive_faults, stall_timeout:
             Degraded-input handling (see :mod:`repro.stream.config`);
             ``None`` takes the shared defaults.  Quarantined rows,
@@ -667,21 +688,31 @@ class Session:
         from repro.stream.fleet import FleetDetector
 
         def relay_alarm(alarm: "Alarm") -> None:
-            self.metrics.record_alarm(
+            label = (
                 f"{alarm.stream} t={alarm.time:g}s score={alarm.score:.4f} "
-                f"< {alarm.threshold:.4f}",
-                alarm.latency_s,
+                f"< {alarm.threshold:.4f}"
             )
+            if alarm.verdict is not None:
+                label += f" {alarm.verdict.summary()}"
+                self.metrics.record_verdict(
+                    f"{alarm.stream} t={alarm.time:g}s {alarm.verdict.summary()}"
+                )
+            self.metrics.record_alarm(label, alarm.latency_s)
             if on_alarm is not None:
                 on_alarm(alarm)
 
         def relay_fused(fused: "FleetAlarm") -> None:
-            self.metrics.record_fused_alarm(
+            label = (
                 f"t={fused.time:g}s {len(fused.streams)}/{fused.reporting} "
                 f"streams below {fused.threshold:.4f} "
-                f"(quorum {fused.needed})",
-                fused.latency_s,
+                f"(quorum {fused.needed})"
             )
+            if fused.verdict is not None:
+                label += f" {fused.verdict.summary()}"
+                self.metrics.record_verdict(
+                    f"fused t={fused.time:g}s {fused.verdict.summary()}"
+                )
+            self.metrics.record_fused_alarm(label, fused.latency_s)
             if on_fused is not None:
                 on_fused(fused)
 
@@ -736,6 +767,7 @@ class Session:
             faults=stream_faults,
             on_fault=relay_fault,
             on_seal=relay_seal,
+            attribution=attribution,
         )
 
         attacks = plan.build_attacks() if attack else []

@@ -6,7 +6,10 @@ analysis *while the node is being watched*: a
 closes one feature window per sampling tick (ring buffers over the
 multi-period Table 5 grid — O(1) amortised per window), and an
 :class:`OnlineDetector` scores each window as it closes, emitting typed
-:class:`Alarm` events with latency accounting.
+:class:`Alarm` events with latency accounting.  With ``attribution`` on,
+each alarm additionally carries a :class:`~repro.attribution.Verdict` —
+anomaly class, culprit features, estimated onset — computed strictly
+after scoring, so scores and alarm decisions stay bit-identical.
 
 At fleet scale, a :class:`FleetDetector` multiplexes N extractor streams
 (one per monitored node, across one or many scenarios) into a single
@@ -47,6 +50,7 @@ Usage::
 """
 
 from repro.stream.config import (
+    DEFAULT_ATTRIBUTION,
     DEFAULT_MAX_FAULTS,
     DEFAULT_MONITOR,
     DEFAULT_QUORUM,
@@ -76,6 +80,7 @@ from repro.stream.ring import EventRing, RouteLengthRing
 __all__ = [
     "Alarm",
     "CheckpointError",
+    "DEFAULT_ATTRIBUTION",
     "DEFAULT_MAX_FAULTS",
     "DEFAULT_MONITOR",
     "DEFAULT_QUORUM",

@@ -42,6 +42,14 @@ asserts the symmetry by introspection):
     Quarantine-mode circuit breaker (:data:`DEFAULT_MAX_FAULTS`): a
     fleet lane exceeding this many *consecutive* quarantined rows is
     auto-sealed with reason ``"faulted"``.
+``attribution`` : bool
+    Attach a typed :class:`~repro.attribution.Verdict` to every alarm
+    (anomaly class, culprit features, CUSUM onset) and a fused verdict
+    to every :class:`~repro.stream.fleet.FleetAlarm`.  Off by default
+    (:data:`DEFAULT_ATTRIBUTION`) — verdicts are pure annotation
+    (scores/alarms stay bit-identical either way), but cost one extra
+    sub-model pass per alarming window.  ``REPRO_ATTRIBUTION=0``
+    force-disables it regardless of this knob.
 ``stall_timeout`` : float | None
     Fleet liveness bound, in simulation seconds: a lane whose frontier
     lags the most advanced live lane by more than this is auto-sealed
@@ -82,6 +90,9 @@ DEFAULT_MAX_FAULTS = 5
 #: Default checkpoint cadence for durable runs: snapshot every N
 #: dispatched sampling ticks.
 DEFAULT_CHECKPOINT_EVERY = 16
+
+#: Default attribution policy: plain (untyped) alarms, as before PR 9.
+DEFAULT_ATTRIBUTION = False
 
 
 def validate_row_policy(row_policy: str | None) -> str:

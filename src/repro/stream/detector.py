@@ -24,8 +24,13 @@ from typing import Callable
 
 import numpy as np
 
+from repro.attribution import AlarmAttributor, Verdict, resolve_attributor
 from repro.core.model import CrossFeatureDetector, CrossFeatureModel
-from repro.stream.config import DEFAULT_ROW_POLICY, validate_row_policy
+from repro.stream.config import (
+    DEFAULT_ATTRIBUTION,
+    DEFAULT_ROW_POLICY,
+    validate_row_policy,
+)
 from repro.stream.extractor import WindowRow
 from repro.stream.faults import StreamFault
 
@@ -36,7 +41,8 @@ class Alarm:
 
     ``latency_s`` is the wall-clock cost of scoring the window — the
     delay between the window closing (row delivery) and the alarm being
-    available to act on.
+    available to act on.  ``verdict`` is the typed attribution verdict
+    (None unless the detector was built with ``attribution``).
     """
 
     index: int          #: emitted-window index at the monitor
@@ -46,6 +52,7 @@ class Alarm:
     monitor: int        #: observed node
     latency_s: float    #: wall-clock seconds from window close to alarm
     stream: str = ""    #: fleet lane name ("" outside fleet detection)
+    verdict: Verdict | None = None  #: typed attribution verdict
 
 
 @dataclass
@@ -120,6 +127,12 @@ class OnlineDetector:
     on_fault:
         Callback invoked with each quarantined
         :class:`~repro.stream.faults.StreamFault`.
+    attribution:
+        Attach typed verdicts to alarms: ``True`` builds a default
+        :class:`~repro.attribution.AlarmAttributor` over this model and
+        threshold, or pass a configured attributor.  Runs strictly
+        after scoring — scores and alarm decisions are bit-identical
+        with it on or off (``REPRO_ATTRIBUTION=0`` force-disables).
     """
 
     def __init__(
@@ -131,6 +144,7 @@ class OnlineDetector:
         on_alarm: Callable[[Alarm], None] | None = None,
         row_policy: str = DEFAULT_ROW_POLICY,
         on_fault: Callable[[StreamFault], None] | None = None,
+        attribution: AlarmAttributor | bool = DEFAULT_ATTRIBUTION,
     ):
         if model.discretizer is None:
             raise ValueError("model must be fitted before online detection")
@@ -141,6 +155,7 @@ class OnlineDetector:
         self.on_alarm = on_alarm
         self.row_policy = validate_row_policy(row_policy)
         self.on_fault = on_fault
+        self.attribution = resolve_attributor(model, self.threshold, attribution)
         self.times: list[float] = []
         self.scores: list[float] = []
         self.latencies: list[float] = []
@@ -157,6 +172,7 @@ class OnlineDetector:
         on_alarm: Callable[[Alarm], None] | None = None,
         row_policy: str = DEFAULT_ROW_POLICY,
         on_fault: Callable[[StreamFault], None] | None = None,
+        attribution: AlarmAttributor | bool = DEFAULT_ATTRIBUTION,
     ) -> "OnlineDetector":
         """Wrap a fitted batch :class:`CrossFeatureDetector` unchanged.
 
@@ -176,6 +192,7 @@ class OnlineDetector:
             on_alarm=on_alarm,
             row_policy=row_policy,
             on_fault=on_fault,
+            attribution=attribution,
         )
 
     # ------------------------------------------------------------------
@@ -237,7 +254,15 @@ class OnlineDetector:
         self.scores.append(score)
         self.latencies.append(latency)
         self._last_index = row.index
-        if score < self.threshold:
+        alarming = score < self.threshold
+        verdict = None
+        if self.attribution is not None:
+            # Attribution reads the score and row, never the reverse:
+            # the alarm decision above is already final.
+            verdict = self.attribution.attribute(
+                row.time, score, row.features, alarming
+            )
+        if alarming:
             alarm = Alarm(
                 index=row.index,
                 time=row.time,
@@ -245,6 +270,7 @@ class OnlineDetector:
                 threshold=self.threshold,
                 monitor=self.monitor,
                 latency_s=latency,
+                verdict=verdict,
             )
             self.alarms.append(alarm)
             if self.on_alarm is not None:
@@ -286,7 +312,7 @@ class OnlineDetector:
         The model/threshold/method construction knobs are not captured;
         restore targets a detector built over the same trained model.
         """
-        return {
+        state = {
             "times": list(self.times),
             "scores": list(self.scores),
             "latencies": list(self.latencies),
@@ -294,12 +320,18 @@ class OnlineDetector:
             "fault_records": list(self.fault_records),
             "last_index": self._last_index,
         }
+        if self.attribution is not None:
+            state["attribution"] = self.attribution.snapshot()
+        return state
 
     def restore(self, state: dict) -> None:
         """Adopt a :meth:`snapshot`, replacing all current run state.
 
         Restored alarms and faults do *not* re-fire the ``on_alarm`` /
         ``on_fault`` hooks — they already fired in the original run.
+        Attribution state (CUSUM statistic, blame/residual history)
+        restores when both sides have attribution; a snapshot from a
+        plain run leaves a fresh attributor empty.
         """
         self.times = list(state["times"])
         self.scores = list(state["scores"])
@@ -307,3 +339,5 @@ class OnlineDetector:
         self.alarms = list(state["alarms"])
         self.fault_records = list(state["fault_records"])
         self._last_index = state["last_index"]
+        if self.attribution is not None and state.get("attribution") is not None:
+            self.attribution.restore(state["attribution"])

@@ -64,9 +64,17 @@ from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.attribution import (
+    AlarmAttributor,
+    Verdict,
+    attribution_enabled,
+    contribution_matrix,
+    fuse_verdicts,
+)
 from repro.core.model import CrossFeatureDetector, CrossFeatureModel
 from repro.features.traffic import DEFAULT_SAMPLING_PERIODS
 from repro.stream.config import (
+    DEFAULT_ATTRIBUTION,
     DEFAULT_MAX_FAULTS,
     DEFAULT_MONITOR,
     DEFAULT_QUORUM,
@@ -94,7 +102,8 @@ class FleetAlarm:
     the tick; ``reporting`` is how many streams delivered a window for
     the tick at all, and ``needed`` the quorum the policy demanded of
     them.  ``latency_s`` is the wall-clock cost of the batch scoring
-    call that produced the verdict.
+    call that produced the verdict.  ``verdict`` fuses the alarming
+    lanes' typed votes (None unless attribution is on).
     """
 
     time: float                  #: window end, simulation seconds
@@ -104,6 +113,7 @@ class FleetAlarm:
     needed: int                  #: alarming lanes the quorum demanded
     threshold: float             #: decision threshold in force
     latency_s: float             #: wall-clock seconds for the batch score
+    verdict: Verdict | None = None  #: fused typed verdict over lane votes
 
 
 class _Lane:
@@ -319,6 +329,14 @@ class FleetDetector:
         Callback ``(lane_name, reason)`` per abnormal lane seal
         ("dropped" / "stalled" / "faulted" / "crashed") and per
         duplicate seal attempt (reason ``"duplicate"``).
+    attribution:
+        Attach typed verdicts: one
+        :class:`~repro.attribution.AlarmAttributor` per lane (each lane
+        carries its own CUSUM/blame history) with contributions computed
+        in one batched call per tick bucket, and a fused verdict voted
+        over the alarming lanes on each :class:`FleetAlarm`.  Runs
+        strictly after scoring — scores/alarms/fused timing are
+        bit-identical on or off (``REPRO_ATTRIBUTION=0`` force-disables).
     """
 
     def __init__(
@@ -336,6 +354,7 @@ class FleetDetector:
         faults: StreamFaultPlan | None = None,
         on_fault: Callable[[StreamFault], None] | None = None,
         on_seal: Callable[[str, str], None] | None = None,
+        attribution: bool = DEFAULT_ATTRIBUTION,
     ):
         if model.discretizer is None:
             raise ValueError("model must be fitted before fleet detection")
@@ -353,6 +372,8 @@ class FleetDetector:
         self.stall_timeout = stall_timeout
         self.on_fault = on_fault
         self.on_seal = on_seal
+        self.attribution = bool(attribution) and attribution_enabled()
+        self._attributors: dict[str, AlarmAttributor] = {}
         self.fused: list[FleetAlarm] = []
         self.batch_sizes: list[int] = []
         self.fault_records: list[StreamFault] = []
@@ -384,6 +405,7 @@ class FleetDetector:
         faults: StreamFaultPlan | None = None,
         on_fault: Callable[[StreamFault], None] | None = None,
         on_seal: Callable[[str, str], None] | None = None,
+        attribution: bool = DEFAULT_ATTRIBUTION,
     ) -> "FleetDetector":
         """Wrap a fitted batch :class:`CrossFeatureDetector` unchanged.
 
@@ -405,6 +427,7 @@ class FleetDetector:
             faults=faults,
             on_fault=on_fault,
             on_seal=on_seal,
+            attribution=attribution,
         )
 
     @classmethod
@@ -432,6 +455,7 @@ class FleetDetector:
         faults: StreamFaultPlan | None = None,
         on_fault: Callable[[StreamFault], None] | None = None,
         on_seal: Callable[[str, str], None] | None = None,
+        attribution: bool = DEFAULT_ATTRIBUTION,
     ) -> "FleetDetector":
         """Train via the session and register one lane per (scenario, monitor).
 
@@ -465,6 +489,7 @@ class FleetDetector:
             faults=faults,
             on_fault=on_fault,
             on_seal=on_seal,
+            attribution=attribution,
         )
         if monitors is None:
             monitors = tuple(m for m in range(plan.n_nodes) if m != plan.attacker)
@@ -490,6 +515,10 @@ class FleetDetector:
             raise ValueError(f"stream {name!r} is already registered")
         lane = _Lane(name, scenario, monitor)
         self._lanes[name] = lane
+        if self.attribution:
+            # One attributor per lane: CUSUM/blame history is a
+            # property of the stream, not of the fleet.
+            self._attributors[name] = AlarmAttributor(self.model, self.threshold)
         return lane
 
     def add_stream(
@@ -802,13 +831,34 @@ class FleetDetector:
         if self.on_batch is not None:
             self.on_batch(len(entries), latency)
 
+        # Attribution reads the finished scores, never the reverse:
+        # contributions for every alarming row in the bucket come from
+        # one batched sub-model pass (mirroring the scoring call).
+        contributions: dict[int, np.ndarray] = {}
+        if self._attributors:
+            alarm_rows = [
+                k for k, s in enumerate(scores) if float(s) < self.threshold
+            ]
+            if alarm_rows:
+                batch = contribution_matrix(self.model, X[alarm_rows])
+                contributions = {k: batch[j] for j, k in enumerate(alarm_rows)}
+
         alarming: list[tuple[_Lane, float]] = []
-        for (lane, row), score in zip(entries, scores):
+        votes: list[Verdict] = []
+        for k, ((lane, row), score) in enumerate(zip(entries, scores)):
             s = float(score)
             lane.times.append(row.time)
             lane.scores.append(s)
             lane.latencies.append(latency)
-            if s < self.threshold:
+            is_alarm = s < self.threshold
+            verdict = None
+            attributor = self._attributors.get(lane.name)
+            if attributor is not None:
+                verdict = attributor.attribute(
+                    row.time, s, row.features, is_alarm,
+                    contribution=contributions.get(k),
+                )
+            if is_alarm:
                 alarm = Alarm(
                     index=row.index,
                     time=row.time,
@@ -817,9 +867,12 @@ class FleetDetector:
                     monitor=lane.monitor,
                     latency_s=latency,
                     stream=lane.name,
+                    verdict=verdict,
                 )
                 lane.alarms.append(alarm)
                 alarming.append((lane, s))
+                if verdict is not None:
+                    votes.append(verdict)
                 if self.on_alarm is not None:
                     self.on_alarm(alarm)
 
@@ -834,6 +887,7 @@ class FleetDetector:
                 needed=needed,
                 threshold=self.threshold,
                 latency_s=latency,
+                verdict=fuse_verdicts(votes) if votes else None,
             )
             self.fused.append(fused)
             if self.on_fused is not None:
@@ -918,6 +972,11 @@ class FleetDetector:
                     stream._extractor.snapshot() if stream is not None else None
                 ),
                 "injector": injector.snapshot() if injector is not None else None,
+                "attributor": (
+                    self._attributors[name].snapshot()
+                    if name in self._attributors
+                    else None
+                ),
             }
         return {
             "lanes": lanes,
@@ -965,6 +1024,9 @@ class FleetDetector:
             injector = self._injectors.get(name)
             if injector is not None and lane_state["injector"] is not None:
                 injector.restore(lane_state["injector"])
+            attributor = self._attributors.get(name)
+            if attributor is not None and lane_state.get("attributor") is not None:
+                attributor.restore(lane_state["attributor"])
         self._buckets = {
             t: [(self._lanes[name], row) for name, row in bucket]
             for t, bucket in state["buckets"].items()

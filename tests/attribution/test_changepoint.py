@@ -1,0 +1,126 @@
+"""Temporal layer: CUSUM change points and forecast residuals."""
+
+import numpy as np
+import pytest
+
+from repro.attribution.changepoint import (
+    ChangePoint,
+    ScoreCusum,
+    residual_flags,
+    residual_zscores,
+    score_change_points,
+)
+from repro.eval.timeseries import ScoreSeries
+
+REF = 1.0  # reference (threshold) score; drift 0.1, decision 0.5
+
+
+def series(times, scores):
+    return ScoreSeries(times=np.asarray(times, float),
+                       scores=np.asarray(scores, float))
+
+
+class TestScoreCusum:
+    def test_reference_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ScoreCusum(0.0)
+        with pytest.raises(ValueError):
+            ScoreCusum(-1.0)
+
+    def test_healthy_scores_keep_statistic_at_zero(self):
+        cusum = ScoreCusum(REF)
+        for k in range(20):
+            cusum.update(5.0 * k, 1.2)
+            assert cusum.stat == 0.0
+            assert cusum.onset is None
+
+    def test_drift_allowance_drains_shallow_dips(self):
+        # Scores just under the reference but above reference - drift
+        # must not accumulate: a 2%-false-alarm threshold means ~2% of
+        # normal windows sit slightly below it.
+        cusum = ScoreCusum(REF)
+        for k in range(50):
+            cusum.update(5.0 * k, 0.95)
+            assert cusum.stat == 0.0
+
+    def test_onset_is_where_statistic_left_zero(self):
+        cusum = ScoreCusum(REF)
+        cusum.update(5.0, 1.2)      # healthy
+        cusum.update(10.0, 0.6)     # collapse starts here (stat 0.3)
+        assert cusum.onset is None  # not yet decided
+        cusum.update(15.0, 0.6)     # stat 0.6 crosses the decision level
+        assert cusum.onset == 10.0
+        assert cusum.detected_at == 15.0
+
+    def test_single_shallow_dip_never_decides(self):
+        cusum = ScoreCusum(REF)
+        cusum.update(5.0, 0.6)   # one isolated dip: stat = 0.3 < decision
+        assert cusum.onset is None
+        cusum.update(10.0, 1.5)  # healthy window drains it away
+        assert cusum.stat == 0.0
+
+    def test_self_healing_resets_the_episode(self):
+        cusum = ScoreCusum(REF)
+        cusum.update(5.0, 0.0)
+        cusum.update(10.0, 0.0)
+        assert cusum.onset == 5.0
+        for k in range(10):  # recovery: high scores drain the statistic
+            cusum.update(15.0 + 5.0 * k, 3.0)
+        assert cusum.stat == 0.0 and cusum.onset is None
+        cusum.update(100.0, 0.0)
+        cusum.update(105.0, 0.0)
+        assert cusum.onset == 100.0  # fresh episode, fresh onset
+
+    def test_onset_frozen_once_decided(self):
+        cusum = ScoreCusum(REF)
+        for t in (5.0, 10.0, 15.0, 20.0):
+            cusum.update(t, 0.1)
+        assert cusum.onset == 5.0 and cusum.detected_at == 5.0
+
+    def test_snapshot_roundtrip_is_exact(self):
+        cusum = ScoreCusum(REF)
+        for t, s in [(5.0, 1.2), (10.0, 0.4), (15.0, 0.6)]:
+            cusum.update(t, s)
+        clone = ScoreCusum(REF)
+        clone.restore(cusum.snapshot())
+        for t, s in [(20.0, 0.1), (25.0, 2.0), (30.0, 0.3)]:
+            assert clone.update(t, s) == cusum.update(t, s)
+            assert clone.snapshot() == cusum.snapshot()
+
+
+class TestScoreChangePoints:
+    def test_two_episodes_localised(self):
+        times = np.arange(10, dtype=float) * 5.0
+        scores = [1.2, 0.1, 0.1, 1.2, 3.0, 1.2, 1.2, 0.0, 0.0, 0.0]
+        points = score_change_points(series(times, scores), REF)
+        assert points == [
+            ChangePoint(onset=5.0, detected_at=5.0),
+            ChangePoint(onset=35.0, detected_at=35.0),
+        ]
+
+    def test_quiet_series_has_no_change_points(self):
+        points = score_change_points(series([5.0, 10.0], [1.2, 1.1]), REF)
+        assert points == []
+
+
+class TestResiduals:
+    def test_insufficient_history_returns_none(self):
+        history = np.ones((7, 3))
+        assert residual_zscores(history, np.ones(3)) is None
+        assert residual_flags(history, np.ones(3)) is None
+
+    def test_step_change_flags_only_the_stepped_feature(self):
+        rng = np.random.default_rng(0)
+        history = rng.normal(10.0, 1.0, size=(24, 4))
+        current = history.mean(axis=0).copy()
+        current[2] += 50.0  # dozens of sigmas
+        flags = residual_flags(history, current)
+        assert flags.tolist() == [False, False, True, False]
+
+    def test_constant_history_makes_any_change_surprising(self):
+        history = np.full((10, 2), 3.0)
+        flags = residual_flags(history, np.array([3.0, 3.0 + 1e-6]))
+        assert flags.tolist() == [False, True]
+
+    def test_one_dimensional_history_promoted(self):
+        assert residual_zscores(np.ones(3), np.ones(3), min_history=2) is None

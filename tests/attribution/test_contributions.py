@@ -1,0 +1,117 @@
+"""Blame extraction: contribution matrices, labels, and stable ranking."""
+
+import numpy as np
+import pytest
+
+from repro.attribution.contributions import (
+    contribution_matrix,
+    feature_labels,
+    target_indices,
+    top_contributors,
+)
+from repro.core.model import CrossFeatureModel
+from repro.ml import CLASSIFIERS
+
+NAMES = ["load", "double_load", "load_pow", "noise"]
+
+
+def correlated_normal(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    activity = rng.uniform(0, 10, size=n)
+    return np.column_stack([
+        activity + rng.normal(0, 0.3, n),
+        2 * activity + rng.normal(0, 0.5, n),
+        activity ** 1.5 + rng.normal(0, 0.5, n),
+        rng.uniform(0, 1, n),
+    ])
+
+
+def fitted_model(classifier="c45", calibrate=True):
+    model = CrossFeatureModel(classifier_factory=CLASSIFIERS[classifier])
+    model.fit(correlated_normal(), feature_names=NAMES)
+    if calibrate:
+        model.calibrate(correlated_normal(seed=1))
+    return model
+
+
+class TestContributionMatrix:
+    def test_matches_explain_blame(self):
+        """Contribution is exactly ``1 - calibrated`` from explain()."""
+        model = fitted_model()
+        row = np.array([5.0, 10.0, 1e6, 0.5])
+        contrib = contribution_matrix(model, row)[0]
+        by_target = {e["target"]: e["calibrated"] for e in model.explain(row)}
+        for m, target in enumerate(model.targets_):
+            assert contrib[m] == 1.0 - by_target[target]
+
+    def test_batch_rows_independent(self):
+        model = fitted_model()
+        X = correlated_normal(n=8, seed=5)
+        batch = contribution_matrix(model, X)
+        for k, row in enumerate(X):
+            assert np.array_equal(batch[k], contribution_matrix(model, row)[0])
+
+    def test_calibrated_vs_uncalibrated_ordering(self):
+        """Calibration rescales blame but must not reorder a clear
+        culprit: the broken feature tops both rankings."""
+        broken = np.array([5.0, 10.0, 1e6, 0.5])
+        for model in (fitted_model(calibrate=True), fitted_model(calibrate=False)):
+            contrib = contribution_matrix(model, broken)[0]
+            feats, _, contribs = top_contributors(
+                contrib, feature_labels(model), target_indices(model)
+            )
+            assert feats[0] == "load_pow"
+            assert list(contribs) == sorted(contribs, reverse=True)
+
+    def test_uncalibrated_blame_is_one_minus_p_true(self):
+        model = fitted_model(calibrate=False)
+        row = np.array([5.0, 10.0, 11.0, 0.5])
+        contrib = contribution_matrix(model, row)[0]
+        _, p_true = model._sub_model_outputs(np.asarray([row]))
+        assert np.array_equal(contrib, 1.0 - p_true[0])
+
+
+class TestLabels:
+    def test_named_labels_follow_ensemble_order(self):
+        model = fitted_model()
+        assert feature_labels(model) == [NAMES[t] for t in model.targets_]
+        assert target_indices(model) == [int(t) for t in model.targets_]
+
+    def test_unnamed_labels_are_indices(self):
+        model = CrossFeatureModel()
+        model.fit(correlated_normal())
+        assert feature_labels(model) == target_indices(model)
+
+
+class TestTopContributors:
+    def test_ranking_and_truncation(self):
+        feats, targets, contribs = top_contributors(
+            np.array([0.1, 0.9, 0.5]), ["a", "b", "c"], [0, 1, 2], top_k=2
+        )
+        assert feats == ("b", "c")
+        assert targets == (1, 2)
+        assert contribs == (0.9, 0.5)
+
+    def test_exact_ties_keep_ensemble_order(self):
+        feats, _, _ = top_contributors(
+            np.array([0.5, 0.5, 0.5, 0.5]), list("abcd"), [0, 1, 2, 3]
+        )
+        assert feats == ("a", "b", "c", "d")
+
+    @pytest.mark.parametrize("classifier", ["c45", "nbc"])
+    def test_tied_blame_stable_across_classifiers(self, classifier):
+        """Constant columns tie every sub-model exactly; the ranking must
+        fall back to ensemble order for C4.5 and NBC alike."""
+        model = CrossFeatureModel(classifier_factory=CLASSIFIERS[classifier])
+        X = np.tile([1.0, 2.0, 3.0, 4.0, 5.0], (60, 1))
+        model.fit(X, feature_names=list("abcde"))
+        contrib = contribution_matrix(model, X[0])[0]
+        assert len(set(contrib.tolist())) == 1  # genuinely tied
+        feats, targets, _ = top_contributors(
+            contrib, feature_labels(model), target_indices(model)
+        )
+        assert list(feats) == [NAMES_ABCDE[t] for t in targets]
+        assert feats == ("a", "b", "c", "d", "e")
+
+
+NAMES_ABCDE = list("abcde")

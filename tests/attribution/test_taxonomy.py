@@ -1,0 +1,199 @@
+"""Taxonomy: fine groups, signed activities, signature matching.
+
+The registry is fit-free data, so these tests pin its *behaviour*:
+every attack type's own profiled fingerprint must classify as itself
+(the smoke test that keeps a hand-edit from silently reshuffling the
+taxonomy), flat or alien vectors must fall to ``unknown``, and the
+shares fallback must stay deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attribution.taxonomy import (
+    ACTIVITY_MIN_MATCH,
+    ANOMALY_TYPES,
+    GROUPS,
+    UNKNOWN,
+    AnomalyType,
+    classify_activity,
+    classify_shares,
+    feature_group,
+    fine_group,
+    group_shares,
+    signed_activity,
+)
+
+
+class TestFineGroup:
+    @pytest.mark.parametrize("name,expected", [
+        ("rreq_received_5s_count", "rreq_received"),
+        ("data_sent_900s_count", "data_sent"),
+        ("route_all_forwarded_60s_count", "route_all_forwarded"),
+        ("hello_dropped_5s_count", "hello_dropped"),
+        ("total_route_change", "route_churn"),
+        ("route_repair_count", "route_churn"),
+        ("average_route_length", "route_shape"),
+        ("route_find_count", "route_shape"),
+        ("absolute_velocity", "mobility"),
+    ])
+    def test_vocabulary_mapping(self, name, expected):
+        assert fine_group(name) == expected
+
+    @pytest.mark.parametrize("name", [
+        "rreq_received_5s_iat_std",   # IAT deviation sign is noise
+        "data_sent_60s_iat_std",
+        "something_else",
+        7,                            # unnamed feature (index label)
+        None,
+    ])
+    def test_directionless_features_excluded(self, name):
+        assert fine_group(name) is None
+
+    def test_every_fine_feature_has_a_coarse_group(self):
+        # The two vocabularies agree: a feature with a fine group never
+        # falls into the coarse "other" bucket.
+        for name in ("rreq_sent_5s_count", "rerr_received_60s_count",
+                     "total_route_change", "absolute_velocity"):
+            assert fine_group(name) is not None
+            assert feature_group(name) != "other"
+
+
+class TestSignedActivity:
+    GROUPS_4 = ["rreq_received", "rreq_received", "data_received", None]
+
+    def test_direction_and_pooling(self):
+        history = np.tile([10.0, 100.0, 50.0, 1.0], (10, 1))
+        history += np.outer(np.linspace(-1, 1, 10), [1.0, 5.0, 2.0, 0.1])
+        row = np.array([50.0, 100.0, 10.0, 1.0])
+        act = signed_activity(row, history, self.GROUPS_4)
+        assert set(act) == {"rreq_received", "data_received"}
+        # Column 0 far above normal, column 1 on it: the pooled rreq
+        # activity is positive but diluted by the quiet column.
+        assert 0.0 < act["rreq_received"] < 1.0
+        assert act["data_received"] < 0.0  # collapsed below its history
+
+    def test_on_baseline_row_is_flat(self):
+        rng = np.random.default_rng(0)
+        history = rng.normal(10.0, 1.0, size=(24, 4))
+        act = signed_activity(history.mean(axis=0), history, self.GROUPS_4)
+        for value in act.values():
+            assert abs(value) < 1e-9
+
+    def test_bounded_by_tanh(self):
+        history = np.tile([1.0, 1.0, 1.0, 1.0], (8, 1))
+        act = signed_activity(
+            np.array([1e9, 1e9, -1e9, 0.0]), history, self.GROUPS_4
+        )
+        assert act["rreq_received"] == pytest.approx(1.0)
+        assert act["data_received"] == pytest.approx(-1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            signed_activity(np.zeros(3), np.zeros((5, 3)), self.GROUPS_4)
+
+
+def all_fine_groups():
+    """Every group named by any registered variant."""
+    groups = set()
+    for atype in ANOMALY_TYPES.values():
+        for variant in atype.variants:
+            groups.update(variant)
+    return sorted(groups)
+
+
+class TestMatchActivity:
+    def test_own_variant_matches_almost_perfectly(self):
+        # Stored variants are rounded, so they are not exactly
+        # zero-mean; re-centring the observed copy costs a hair.
+        atype = ANOMALY_TYPES["flooding"]
+        variant = dict(atype.variants[0])
+        assert atype.match_activity(variant) == pytest.approx(1.0, abs=1e-3)
+
+    def test_flat_activity_matches_nothing(self):
+        flat = {g: 0.4 for g in all_fine_groups()}
+        for atype in ANOMALY_TYPES.values():
+            assert atype.match_activity(flat) == pytest.approx(0.0, abs=1e-9)
+
+    def test_no_variants_scores_zero(self):
+        bare = AnomalyType(name="bare", description="", signature={"other": 1.0})
+        assert bare.match_activity({"rreq_received": 1.0}) == 0.0
+
+    def test_best_variant_wins(self):
+        atype = ANOMALY_TYPES["blackhole"]
+        aodv, dsr = (dict(v) for v in atype.variants)
+        assert atype.match_activity(aodv) > atype.match_activity(
+            {g: -w for g, w in aodv.items()}
+        )
+        assert atype.match_activity(dsr) == pytest.approx(1.0, abs=1e-3)
+
+
+class TestClassifyActivity:
+    @pytest.mark.parametrize("kind", [
+        "flooding", "blackhole", "dropping", "impersonation",
+        "route_instability",
+    ])
+    @pytest.mark.parametrize("variant_index", [0, 1])
+    def test_each_attack_fingerprint_classifies_as_itself(
+        self, kind, variant_index
+    ):
+        """Smoke test per attack module: every profiled protocol variant
+        (AODV and DSR) is its own class's nearest signature."""
+        variants = ANOMALY_TYPES[kind].variants
+        if variant_index >= len(variants):
+            pytest.skip("single-variant type")
+        name, match = classify_activity(dict(variants[variant_index]))
+        assert name == kind
+        assert match == pytest.approx(1.0, abs=1e-3)
+
+    def test_noisy_fingerprint_still_classifies(self):
+        rng = np.random.default_rng(7)
+        for kind in ("flooding", "blackhole", "dropping", "impersonation"):
+            noisy = {
+                g: w + rng.normal(0, 0.03)
+                for g, w in ANOMALY_TYPES[kind].variants[0].items()
+            }
+            assert classify_activity(noisy)[0] == kind
+
+    def test_flat_vector_is_unknown(self):
+        name, match = classify_activity({g: 0.5 for g in all_fine_groups()})
+        assert name == UNKNOWN
+        assert match < ACTIVITY_MIN_MATCH
+
+    def test_registry_order_breaks_ties(self):
+        probe = {"x": 1.0, "y": -1.0}
+        taxonomy = {
+            "second": AnomalyType("second", "", variants=(probe,)),
+            "first": AnomalyType("first", "", variants=(dict(probe),)),
+        }
+        assert classify_activity(probe, taxonomy)[0] == "second"
+
+    def test_custom_floor(self):
+        probe = dict(ANOMALY_TYPES["flooding"].variants[0])
+        assert classify_activity(probe, min_match=1.1)[0] == UNKNOWN
+
+
+class TestSharesFallback:
+    def test_group_shares_normalised_and_size_free(self):
+        # Two groups, one with many quiet members: the loud small group
+        # must win because shares use per-member means.
+        groups = ["rreq_storm"] * 8 + ["route_error"]
+        contribs = np.array([0.1] * 8 + [0.8])
+        shares = group_shares(contribs, groups)
+        assert shares["route_error"] > shares["rreq_storm"]
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_group_shares_length_mismatch(self):
+        with pytest.raises(ValueError):
+            group_shares(np.ones(3), ["rreq_storm"] * 2)
+
+    def test_classify_shares_unknown_floor(self):
+        flat = {g: 1.0 / len(GROUPS) for g in GROUPS}
+        name, _ = classify_shares(flat, min_match=0.99)
+        assert name == UNKNOWN
+
+    def test_classify_shares_prefers_concentrated_signature(self):
+        shares = {g: 0.0 for g in GROUPS}
+        shares["route_error"] = 0.8
+        shares["data_delivery"] = 0.2
+        assert classify_shares(shares)[0] == "impersonation"

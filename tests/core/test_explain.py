@@ -49,9 +49,17 @@ class TestExplain:
 
     def test_entry_schema(self, detector):
         entry = detector.explain(np.array([5.0, 10.0, 11.0, 0.5]), top_k=1)[0]
-        assert set(entry) == {"feature", "p_true", "baseline", "calibrated"}
+        assert set(entry) == {"feature", "target", "p_true", "baseline", "calibrated"}
         assert 0.0 <= entry["p_true"] <= 1.0
         assert entry["baseline"] is not None
+
+    def test_named_entries_keep_integer_target(self, detector):
+        """With feature_names_ set, entries must still carry the column
+        index so callers can join back to the raw vector/discretizer."""
+        entries = detector.explain(np.array([5.0, 10.0, 1e6, 0.5]))
+        for entry in entries:
+            assert isinstance(entry["target"], int)
+            assert NAMES[entry["target"]] == entry["feature"]
 
     def test_uncalibrated_model_explains_with_raw_probabilities(self):
         model = CrossFeatureModel()
@@ -69,6 +77,12 @@ class TestExplain:
         entries = model.explain(np.array([5.0, 10.0, 11.0, 0.5]), top_k=1)
         assert isinstance(entries[0]["feature"], int)
 
+    def test_indices_carry_target_too(self):
+        model = CrossFeatureModel()
+        model.fit(correlated_normal())
+        entries = model.explain(np.array([5.0, 10.0, 11.0, 0.5]), top_k=1)
+        assert entries[0]["target"] == entries[0]["feature"]
+
     def test_tied_sub_models_rank_in_ensemble_order(self):
         """Ties in the ranking key must resolve to ensemble order (stable
         sort), not the introsort's input-layout-dependent order."""
@@ -81,3 +95,40 @@ class TestExplain:
         cals = [e["calibrated"] for e in entries]
         assert len(set(cals)) == 1  # genuinely tied
         assert [e["feature"] for e in entries] == list("abcde")
+
+
+class TestExplainBatch:
+    """Row-batched explain must match the per-row path entry for entry."""
+
+    def events(self):
+        rng = np.random.default_rng(7)
+        base = correlated_normal(n=12, seed=3)
+        base[::3, 2] += rng.uniform(1e3, 1e6, size=len(base[::3]))
+        return base
+
+    def test_identity_with_per_row_explain(self, detector):
+        events = self.events()
+        batched = detector.explain_batch(events, top_k=3)
+        assert len(batched) == len(events)
+        for row, entries in zip(events, batched):
+            assert entries == detector.explain(row, top_k=3)
+
+    def test_identity_uncalibrated(self):
+        model = CrossFeatureModel()
+        model.fit(correlated_normal(), feature_names=NAMES)
+        events = self.events()
+        batched = model.explain_batch(events)
+        for row, entries in zip(events, batched):
+            assert entries == model.explain(row)
+
+    def test_single_row_2d_accepted(self, detector):
+        event = np.array([5.0, 10.0, 11.0, 0.5])
+        assert detector.explain_batch(event[None, :]) == [detector.explain(event)]
+
+    def test_1d_promoted(self, detector):
+        event = np.array([5.0, 10.0, 11.0, 0.5])
+        assert detector.explain_batch(event) == [detector.explain(event)]
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            CrossFeatureModel().explain_batch(np.zeros((2, 4)))

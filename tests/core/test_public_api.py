@@ -50,7 +50,9 @@ class TestTopLevelApi:
         contract — additions and removals must update this list."""
         assert repro.__all__ == sorted(set(repro.__all__))
         assert repro.__all__ == [
+            "ANOMALY_TYPES",
             "Alarm",
+            "AlarmAttributor",
             "ArtifactCache",
             "C45Classifier",
             "CLASSIFIERS",
@@ -80,6 +82,7 @@ class TestTopLevelApi:
             "TraceBundle",
             "TraceEvent",
             "TwoNodeExample",
+            "Verdict",
             "average_match_count",
             "average_probability",
             "default_session",
@@ -98,6 +101,7 @@ class TestTopLevelApi:
         assert stream.__all__ == [
             "Alarm",
             "CheckpointError",
+            "DEFAULT_ATTRIBUTION",
             "DEFAULT_MAX_FAULTS",
             "DEFAULT_MONITOR",
             "DEFAULT_QUORUM",

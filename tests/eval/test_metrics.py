@@ -133,6 +133,34 @@ class TestTimeseries:
         with pytest.raises(ValueError):
             series.mean_in(100.0, 200.0)
 
+    def test_mean_in_empty_window_names_coverage(self):
+        # Regression: the error used to say only "no windows in [a, b)",
+        # leaving the caller no clue where the series actually lives.
+        times = np.array([5.0, 10.0, 15.0])
+        series = averaged_score_series(times, [np.array([1.0, 2.0, 3.0])])
+        with pytest.raises(ValueError, match=r"covers \[5, 15\] \(3 windows\)"):
+            series.mean_in(100.0, 200.0)
+
+    def test_mean_in_empty_series_message(self):
+        series = averaged_score_series(np.array([5.0]), [np.array([1.0])])
+        empty = type(series)(times=np.array([]), scores=np.array([]))
+        with pytest.raises(ValueError, match="empty"):
+            empty.mean_in(0.0, 10.0)
+
+    def test_mean_in_half_open_start_inclusive(self):
+        times = np.array([5.0, 10.0, 15.0, 20.0])
+        series = averaged_score_series(times, [np.array([1.0, 2.0, 3.0, 4.0])])
+        # A window ending exactly at `start` is included...
+        assert series.mean_in(15.0, 100.0) == pytest.approx(3.5)
+
+    def test_mean_in_half_open_end_exclusive(self):
+        times = np.array([5.0, 10.0, 15.0, 20.0])
+        series = averaged_score_series(times, [np.array([1.0, 2.0, 3.0, 4.0])])
+        # ...one ending exactly at `end` is not.
+        assert series.mean_in(0.0, 15.0) == pytest.approx(1.5)
+        with pytest.raises(ValueError, match="covers"):
+            series.mean_in(0.0, 5.0)
+
     def test_misaligned_runs_rejected(self):
         with pytest.raises(ValueError):
             averaged_score_series(np.array([5.0, 10.0]), [np.array([1.0])])

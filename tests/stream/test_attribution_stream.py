@@ -1,0 +1,226 @@
+"""Attribution riding the stream layer: pure annotation, durable state.
+
+The hard contract: attribution on vs. off (or killed via
+``REPRO_ATTRIBUTION=0``) cannot change a score, an alarm, or fused
+timing — it only *annotates* alarms with verdicts.  And the verdict
+state rides the PR-7 checkpoint machinery bit-identically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import CrossFeatureModel
+from repro.stream import FleetDetector, OnlineDetector
+from repro.stream.extractor import WindowRow
+
+N_FEATURES = 4
+NAMES = ["load", "double_load", "load_pow", "noise"]
+
+
+def correlated_normal(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    activity = rng.uniform(0, 10, size=n)
+    return np.column_stack([
+        activity + rng.normal(0, 0.3, n),
+        2 * activity + rng.normal(0, 0.5, n),
+        activity ** 1.5 + rng.normal(0, 0.5, n),
+        rng.uniform(0, 1, n),
+    ])
+
+
+@pytest.fixture(scope="module")
+def model():
+    m = CrossFeatureModel()
+    m.fit(correlated_normal(), feature_names=NAMES)
+    m.calibrate(correlated_normal(seed=1))
+    return m
+
+
+@pytest.fixture(scope="module")
+def threshold(model):
+    scores = model.normality_score(correlated_normal(seed=2), "avg_probability")
+    return float(np.percentile(scores, 25))
+
+
+def mixed_rows(n=30, seed=3):
+    """Windows with intermittent corruption, so some (not all) alarm."""
+    rng = np.random.default_rng(seed)
+    X = correlated_normal(n=n, seed=seed)
+    X[::4, 2] += rng.uniform(1e3, 1e6, size=len(X[::4]))
+    return [
+        WindowRow(index=k, time=5.0 * (k + 1), monitor=0, features=X[k])
+        for k in range(n)
+    ]
+
+
+def run_online(model, threshold, rows, **kw):
+    online = OnlineDetector(model, threshold, **kw)
+    for row in rows:
+        online.consume(row)
+    return online
+
+
+def alarm_keys(alarms):
+    return [(a.index, a.time, a.score) for a in alarms]
+
+
+class TestOnlineBitIdentity:
+    def test_scores_and_alarms_identical_on_vs_off(self, model, threshold):
+        rows = mixed_rows()
+        off = run_online(model, threshold, rows, attribution=False)
+        on = run_online(model, threshold, rows, attribution=True)
+        assert np.array_equal(np.asarray(on.scores), np.asarray(off.scores))
+        assert alarm_keys(on.alarms) == alarm_keys(off.alarms)
+        assert on.alarms, "fixture must actually alarm"
+        assert all(a.verdict is not None for a in on.alarms)
+        assert all(a.verdict is None for a in off.alarms)
+
+    def test_kill_switch_disables_verdicts_without_changing_bits(
+        self, model, threshold, monkeypatch
+    ):
+        rows = mixed_rows()
+        on = run_online(model, threshold, rows, attribution=True)
+        monkeypatch.setenv("REPRO_ATTRIBUTION", "0")
+        killed = run_online(model, threshold, rows, attribution=True)
+        assert killed.attribution is None
+        assert np.array_equal(np.asarray(killed.scores), np.asarray(on.scores))
+        assert alarm_keys(killed.alarms) == alarm_keys(on.alarms)
+        assert all(a.verdict is None for a in killed.alarms)
+
+    def test_default_is_off(self, model, threshold):
+        online = OnlineDetector(model, threshold)
+        assert online.attribution is None
+
+
+class TestOnlineCheckpoint:
+    def test_verdict_state_survives_snapshot_restore(self, model, threshold):
+        rows = mixed_rows()
+        cut = len(rows) // 2
+
+        live = OnlineDetector(model, threshold, attribution=True)
+        for row in rows[:cut]:
+            live.consume(row)
+        state = live.snapshot()
+        assert "attribution" in state
+
+        fresh = OnlineDetector(model, threshold, attribution=True)
+        fresh.restore(state)
+        assert fresh.attribution.snapshot() == live.attribution.snapshot()
+        for row in rows[cut:]:
+            a_live = live.consume(row)
+            a_fresh = fresh.consume(row)
+            assert (a_live is None) == (a_fresh is None)
+            if a_live is not None:
+                assert a_fresh.verdict == a_live.verdict
+        assert fresh.attribution.snapshot() == live.attribution.snapshot()
+
+    def test_tail_replay_matches_uninterrupted_run(self, model, threshold):
+        rows = mixed_rows()
+        clean = run_online(model, threshold, rows, attribution=True)
+
+        cut = len(rows) // 3
+        first = run_online(model, threshold, rows[:cut], attribution=True)
+        resumed = OnlineDetector(model, threshold, attribution=True)
+        resumed.restore(first.snapshot())
+        for row in rows[cut:]:
+            resumed.consume(row)
+        assert np.array_equal(np.asarray(resumed.scores), np.asarray(clean.scores))
+        assert [a.verdict for a in resumed.alarms] == [a.verdict for a in clean.alarms]
+
+    def test_pre_attribution_snapshot_still_restores(self, model, threshold):
+        """A checkpoint written before this PR has no attribution key;
+        restoring it into an attribution-enabled detector must work."""
+        rows = mixed_rows()
+        plain = run_online(model, threshold, rows[:10], attribution=False)
+        state = plain.snapshot()
+        assert "attribution" not in state
+        fresh = OnlineDetector(model, threshold, attribution=True)
+        fresh.restore(state)  # no KeyError; attributor simply starts empty
+        assert fresh.attribution.verdicts == 0
+
+
+class TestFleetBitIdentity:
+    LANES = ("n0", "n1", "n2")
+
+    def drive(self, model, threshold, attribution):
+        fleet = FleetDetector(model, threshold, quorum=2,
+                              attribution=attribution)
+        for lane in self.LANES:
+            fleet.attach(lane)
+        rows = {lane: mixed_rows(seed=7 + j) for j, lane in enumerate(self.LANES)}
+        for k in range(30):
+            for lane in self.LANES:
+                fleet.ingest(lane, rows[lane][k])
+            fleet.seal_all(5.0 * (k + 1))
+        fleet.finish()
+        return fleet
+
+    def test_lane_scores_alarms_and_fused_timing_identical(self, model, threshold):
+        off = self.drive(model, threshold, attribution=False)
+        on = self.drive(model, threshold, attribution=True)
+        for lane in self.LANES:
+            assert np.array_equal(
+                np.asarray(on._lanes[lane].scores),
+                np.asarray(off._lanes[lane].scores),
+            )
+            assert alarm_keys(on._lanes[lane].alarms) == \
+                alarm_keys(off._lanes[lane].alarms)
+        assert [f.time for f in on.fused] == [f.time for f in off.fused]
+        assert on.fused, "fixture must produce fused alarms"
+        assert all(f.verdict is not None for f in on.fused)
+        assert all(f.verdict is None for f in off.fused)
+
+    def test_batched_contributions_match_single_stream_verdicts(
+        self, model, threshold
+    ):
+        """A fleet lane's verdicts (batched contribution path) must equal
+        an OnlineDetector's over the same rows (per-row path)."""
+        fleet = self.drive(model, threshold, attribution=True)
+        rows = mixed_rows(seed=7)
+        online = run_online(model, threshold, rows, attribution=True)
+        assert [a.verdict for a in fleet._lanes["n0"].alarms] == \
+            [a.verdict for a in online.alarms]
+
+    def test_kill_switch_applies_to_fleet(self, model, threshold, monkeypatch):
+        monkeypatch.setenv("REPRO_ATTRIBUTION", "0")
+        killed = self.drive(model, threshold, attribution=True)
+        assert not killed._attributors
+        assert all(f.verdict is None for f in killed.fused)
+
+    def test_fused_verdict_votes_over_lanes(self, model, threshold):
+        fleet = self.drive(model, threshold, attribution=True)
+        fused = fleet.fused[0]
+        # The fused verdict's windows sum the voting lanes' windows.
+        assert fused.verdict.windows >= len(fused.streams)
+
+
+class TestFleetCheckpoint:
+    def test_attributor_state_rides_lane_snapshots(self, model, threshold):
+        fleet = FleetDetector(model, threshold, quorum=2, attribution=True)
+        for lane in ("n0", "n1"):
+            fleet.attach(lane)
+        rows = {lane: mixed_rows(seed=11 + j)
+                for j, lane in enumerate(("n0", "n1"))}
+        for k in range(12):
+            for lane in ("n0", "n1"):
+                fleet.ingest(lane, rows[lane][k])
+            fleet.seal_all(5.0 * (k + 1))
+
+        state = fleet.snapshot()
+        fresh = FleetDetector(model, threshold, quorum=2, attribution=True)
+        for lane in ("n0", "n1"):
+            fresh.attach(lane)
+        fresh.restore(state)
+        for lane in ("n0", "n1"):
+            assert fresh._attributors[lane].snapshot() == \
+                fleet._attributors[lane].snapshot()
+
+        for k in range(12, 30):
+            for lane in ("n0", "n1"):
+                fleet.ingest(lane, rows[lane][k])
+                fresh.ingest(lane, rows[lane][k])
+            fleet.seal_all(5.0 * (k + 1))
+            fresh.seal_all(5.0 * (k + 1))
+        fleet.finish()
+        fresh.finish()
+        assert [f.verdict for f in fresh.fused] == [f.verdict for f in fleet.fused]

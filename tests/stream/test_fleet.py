@@ -292,6 +292,18 @@ class TestConstructionSymmetry:
                         (FleetDetector.from_session, "warmup")):
             assert self.params(fn)[key].default is None, (fn, key)
 
+    def test_attribution_default_is_shared(self):
+        from repro.runtime.session import Session
+        from repro.stream.config import DEFAULT_ATTRIBUTION
+
+        for fn in (OnlineDetector.from_detector, FleetDetector.from_detector,
+                   FleetDetector.from_session):
+            assert self.params(fn)["attribution"].default \
+                   is DEFAULT_ATTRIBUTION, fn
+        # The Session surfaces share the same (off-by-default) contract.
+        for fn in (Session.stream_detect, Session.fleet_detect):
+            assert self.params(fn)["attribution"].default is False, fn
+
     def test_training_knobs_match_fitted_detector(self):
         from repro.runtime.session import Session
 
