@@ -35,9 +35,18 @@ def test_simulator_scaling():
     # deliberately lower so CI timing noise cannot flake the suite.
     assert by_name["neighbors/100nodes"]["speedup"] >= 1.5, by_name
 
-    # The 500-node row must exist: it covers the regime the batched
-    # kernel targets (the harness asserted its fingerprints already).
+    # The 500-node rows must exist for both protocols: they cover the
+    # regime the batched kernel and the routing fast path target (the
+    # harness asserted their fingerprints already).
     assert "scenario/aodv/500nodes" in by_name, sorted(by_name)
+    assert "scenario/dsr/500nodes" in by_name, sorted(by_name)
+
+    # Full-workload floor at the headline scale (aodv, 200 nodes, 60 s):
+    # the committed baseline shows ~3x with all three switches on (the
+    # harness converges the ratio from above with interleaved best-of
+    # retries); losing any one optimization layer trips this floor.
+    if not QUICK:
+        assert by_name["scenario/aodv/200nodes"]["speedup"] >= 3.0, by_name
 
     # At every scale the harness has already asserted trace-fingerprint
     # equality between the two modes; spot-check the records are

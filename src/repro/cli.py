@@ -404,10 +404,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
         suites.append(("attribution", run_attribution_bench))
     for name, runner in suites:
         print(f"benchmarking {name} ({'quick' if args.quick else 'full'}) ...")
-        payload = runner(quick=args.quick)
+        kwargs = {"quick": args.quick}
+        if name == "simulator" and args.profile:
+            kwargs["profile"] = True
+        payload = runner(**kwargs)
         for entry in payload["entries"]:
             print(f"  {entry['name']:32s} {entry['baseline_seconds']:8.3f}s -> "
                   f"{entry['optimized_seconds']:8.3f}s  ({entry['speedup']:.2f}x)")
+            if entry.get("profile_top"):
+                from repro.runtime.profiling import render_profile
+
+                print(render_profile(entry["profile_top"], indent="    "))
         path = os.path.join(args.out_dir, f"BENCH_{name}.json")
         write_bench(payload, path)
         print(f"  written to {path}")
@@ -543,6 +550,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="CI-scale workloads (seconds instead of minutes)")
     p_bench.add_argument("--out-dir", default=".", metavar="DIR",
                          help="directory for the BENCH_*.json files (default: .)")
+    p_bench.add_argument("--profile", action="store_true",
+                         help="profile one fast-pathed run per end-to-end "
+                              "simulator row and print/record the cProfile "
+                              "top-N cumulative table")
     p_bench.set_defaults(func=cmd_bench)
 
     p_ill = sub.add_parser("illustrate", help="print the paper's §3 example")

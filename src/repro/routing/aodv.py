@@ -74,8 +74,9 @@ class AodvProtocol(RoutingProtocol):
         rreq_retries: int = 2,
         net_ttl: int = 16,
         purge_interval: float = 1.0,
+        routing_fast: bool | None = None,
     ):
-        super().__init__(node)
+        super().__init__(node, routing_fast)
         self.hello_interval = hello_interval
         self.allowed_hello_loss = allowed_hello_loss
         self.active_route_timeout = active_route_timeout
@@ -91,7 +92,20 @@ class AodvProtocol(RoutingProtocol):
         self.seq = 0
         self.rreq_id = 0
         self._forged_rreq_id = 1 << 20  # distinct id space for forged adverts
+        #: Reference duplicate-RREQ filter: one dict keyed by the
+        #: ``(origin, rreq_id)`` tuple (the live structure when
+        #: ``routing_fast`` is off).
         self._seen_rreqs: dict[tuple[int, int], float] = {}
+        #: Fast-path duplicate-RREQ filter: per-origin dicts keyed by the
+        #: (small-int) rreq id, so the hot membership test never allocates
+        #: or hashes a tuple.  Same membership answers, same purge
+        #: decisions — ``_seen_count`` tracks the total so the >512 purge
+        #: trigger matches the reference dict's ``len()``.
+        self._seen_by_origin: dict[int, dict[int, float]] = {}
+        self._seen_count = 0
+        #: Earliest simulation time the next purge scan could have any
+        #: effect (fast path only; -inf forces the first scan).
+        self._purge_deadline = float("-inf")
         self._buffer = PacketBuffer()
         self._pending: dict[int, int] = {}  # dest -> retries used
         self._last_heard: dict[int, float] = {}
@@ -115,6 +129,9 @@ class AodvProtocol(RoutingProtocol):
         # Periodic machinery: jittered starts avoid network-wide phase lock.
         self.sim.schedule(self.sim.rng.uniform(0, hello_interval), self._hello_tick)
         self.sim.schedule(self.sim.rng.uniform(0, purge_interval), self._purge_tick)
+
+        if self.routing_fast:
+            self._install_fast_path()
 
     # ------------------------------------------------------------------
     # Route table
@@ -243,7 +260,7 @@ class AodvProtocol(RoutingProtocol):
                 "target_seq": known_seq,
             },
         )
-        self._seen_rreqs[(self.node_id, self.rreq_id)] = self.sim.now
+        self._seen_mark(self.node_id, self.rreq_id, self.sim.now)
         self.log_packet(PacketType.RREQ, Direction.SENT)
         self.node.broadcast(packet)
         self.sim.schedule(self.rreq_timeout, self._discovery_timeout, dest, retries_used)
@@ -281,9 +298,9 @@ class AodvProtocol(RoutingProtocol):
         # Reverse route toward the originator (possibly forged — the table
         # cannot tell, which is exactly the black hole's lever).
         self._update_route(origin, from_id, packet.hops + 1, info["origin_seq"])
-        if (origin, rreq_id) in self._seen_rreqs:
+        if self._seen_has(origin, rreq_id):
             return
-        self._seen_rreqs[(origin, rreq_id)] = self.sim.now
+        self._seen_mark(origin, rreq_id, self.sim.now)
 
         if origin == self.node_id:
             return  # our own request echoed back (or forged in our name)
@@ -305,6 +322,39 @@ class AodvProtocol(RoutingProtocol):
             and entry.seq >= info["target_seq"]
         ):
             # Intermediate reply from the route table — a cache hit.
+            self.log_route_event(RouteEventKind.FIND)
+            self._send_rrep(origin, target, dest_seq=entry.seq, dest_hops=entry.hops)
+            return
+        if packet.ttl <= 1:
+            return
+        relay = packet.copy()
+        relay.ttl -= 1
+        relay.hops += 1
+        self._stats_log_packet(self.sim.now, PacketType.RREQ, Direction.FORWARDED)
+        self.node.broadcast(relay)
+
+    def _rreq_fresh(self, packet: Packet, from_id: int, origin: int, info: dict) -> None:
+        """First-seen RREQ continuation (the fast handler's cold tail).
+
+        Verbatim the reference :meth:`_handle_rreq` from the own-echo check
+        onward; the fast handler has already logged the receive, refreshed
+        the reverse route and marked the request as seen.
+        """
+        if origin == self.node_id:
+            return  # our own request echoed back (or forged in our name)
+
+        target = info["target"]
+        if target == self.node_id:
+            if info["target_seq"] == self.seq + 1:
+                self.seq += 1
+            self._send_rrep(origin, target, dest_seq=self.seq, dest_hops=0)
+            return
+        entry = self._valid_route(target)
+        if (
+            not info.get("destination_only", False)
+            and entry is not None
+            and entry.seq >= info["target_seq"]
+        ):
             self.log_route_event(RouteEventKind.FIND)
             self._send_rrep(origin, target, dest_seq=entry.seq, dest_hops=entry.hops)
             return
@@ -412,11 +462,15 @@ class AodvProtocol(RoutingProtocol):
                 self._invalidate(entry)
                 invalidated.append((dest, entry.seq))
         if invalidated:
-            relay = packet.copy()
-            relay.origin = self.node_id  # propagation is re-originated
-            relay.info["unreachable"] = invalidated
-            self.log_packet(PacketType.RERR, Direction.FORWARDED)
-            self.node.broadcast(relay)
+            self._relay_rerr(packet, invalidated)
+
+    def _relay_rerr(self, packet: Packet, invalidated: list[tuple[int, int]]) -> None:
+        """Re-originate an RERR whose unreachable list invalidated routes."""
+        relay = packet.copy()
+        relay.origin = self.node_id  # propagation is re-originated
+        relay.info["unreachable"] = invalidated
+        self.log_packet(PacketType.RERR, Direction.FORWARDED)
+        self.node.broadcast(relay)
 
     # ------------------------------------------------------------------
     # HELLO / periodic machinery
@@ -449,14 +503,40 @@ class AodvProtocol(RoutingProtocol):
 
     def _purge_tick(self) -> None:
         now = self.sim.now
-        for entry in list(self.table.values()):
-            if entry.valid and entry.expires <= now:
-                self._invalidate(entry)
-            elif not entry.valid and entry.expires <= now - 3 * self.active_route_timeout:
-                del self.table[entry.dest]
-        if len(self._seen_rreqs) > 512:
-            horizon = now - 30.0
-            self._seen_rreqs = {k: t for k, t in self._seen_rreqs.items() if t >= horizon}
+        if not self.routing_fast:
+            # Reference scan: walk the whole table every tick.
+            for entry in list(self.table.values()):
+                if entry.valid and entry.expires <= now:
+                    self._invalidate(entry)
+                elif not entry.valid and entry.expires <= now - 3 * self.active_route_timeout:
+                    del self.table[entry.dest]
+        elif now >= self._purge_deadline:
+            # Fast scan with a deadline watermark: a scan can only act on an
+            # entry at its expiry (valid) or expiry + 3*ART (invalid), and
+            # between scans those action times only move later — refreshes
+            # and invalidations raise them, and any entry installed after a
+            # scan at t_s expires no earlier than t_s + ART.  So ticks
+            # before min(action times, t_s + ART) are provably no-ops and
+            # the reference's every-tick walk can be skipped bit-identically.
+            art = self.active_route_timeout
+            hold = 3 * art
+            deadline = now + art
+            for entry in list(self.table.values()):
+                if entry.valid:
+                    if entry.expires <= now:
+                        self._invalidate(entry)
+                        t = entry.expires + hold
+                    else:
+                        t = entry.expires
+                elif entry.expires <= now - hold:
+                    del self.table[entry.dest]
+                    continue
+                else:
+                    t = entry.expires + hold
+                if t < deadline:
+                    deadline = t
+            self._purge_deadline = deadline
+        self._seen_prune(now)
         self.sim.schedule(self.purge_interval, self._purge_tick)
 
     # ------------------------------------------------------------------
@@ -467,6 +547,202 @@ class AodvProtocol(RoutingProtocol):
         handler = self._dispatch_get(packet.ptype)
         if handler is not None:
             handler(packet, from_id)
+
+    # ------------------------------------------------------------------
+    # Routing fast path (REPRO_ROUTING_FAST; see DESIGN.md)
+    # ------------------------------------------------------------------
+    def _install_fast_path(self) -> None:
+        """Swap in flattened per-type handlers for the delivery hot path.
+
+        Each closure binds its hot state (route table, sequence memory,
+        per-origin seen dicts, stats channels, timeouts) once as closure
+        locals, executes the reference handler's exact decision sequence in
+        a single Python frame, and delegates to the cold reference helpers
+        as soon as a packet stops being a cheap case.  The map is published
+        as ``typed_handlers`` so broadcast fan-out binds the type-specific
+        handler per batch instead of re-dispatching per delivery.
+        Bit-identity with the reference handlers is asserted by the trace
+        equivalence matrix and the Hypothesis property suite.
+        """
+        sim = self.sim
+        node = self.node
+        node_id = self.node_id
+        table = self.table
+        table_get = table.get
+        memory = self._seq_memory
+        memory_get = memory.get
+        last_heard = self._last_heard
+        seen = self._seen_by_origin
+        seen_get = seen.get
+        rreq_chan = self._rreq_recv
+        rerr_chan = self._rerr_recv
+        hello_chan = self._hello_recv
+        art = self.active_route_timeout
+        entry_cls = AodvRouteEntry
+        log_route_event = self.log_route_event
+        log_drop = self.log_drop
+        log_packet = self.log_packet
+        deliver = node.deliver
+        invalidate = self._invalidate
+        transmit = self._transmit_data
+        rreq_fresh = self._rreq_fresh
+        handle_rrep = self._handle_rrep
+        ADD = RouteEventKind.ADD
+        DATA = PacketType.DATA
+        FORWARDED = Direction.FORWARDED
+
+        def rreq_fast(packet: Packet, from_id: int) -> None:
+            now = sim.now
+            last_heard[from_id] = now
+            rreq_chan.append(now)
+            info = packet.info
+            origin = packet.origin
+            if origin != node_id:
+                # Inlined _update_route(origin, from_id, packet.hops + 1,
+                # info["origin_seq"]): same decisions, same float values.
+                seq = info["origin_seq"]
+                entry = table_get(origin)
+                if entry is not None:
+                    eseq = entry.seq
+                    was_valid = entry.valid
+                    if (
+                        (eseq > seq)
+                        if eseq != seq
+                        else (was_valid and entry.hops <= packet.hops + 1)
+                    ):
+                        if was_valid:
+                            expires = now + art
+                            if entry.expires < expires:
+                                entry.expires = expires
+                    else:
+                        known = memory_get(origin, -1)
+                        if known <= seq:
+                            table[origin] = entry_cls(
+                                origin, from_id, packet.hops + 1, seq, now + art
+                            )
+                            if known < seq:
+                                memory[origin] = seq
+                            if not was_valid:
+                                log_route_event(ADD)
+                else:
+                    known = memory_get(origin, -1)
+                    if known <= seq:
+                        table[origin] = entry_cls(
+                            origin, from_id, packet.hops + 1, seq, now + art
+                        )
+                        if known < seq:
+                            memory[origin] = seq
+                        log_route_event(ADD)
+            rreq_id = info["rreq_id"]
+            d = seen_get(origin)
+            if d is None:
+                seen[origin] = {rreq_id: now}
+                self._seen_count += 1
+            elif rreq_id in d:
+                return  # duplicate flood copy: discarded right here
+            else:
+                d[rreq_id] = now
+                self._seen_count += 1
+            rreq_fresh(packet, from_id, origin, info)
+
+        def hello_fast(packet: Packet, from_id: int) -> None:
+            now = sim.now
+            last_heard[from_id] = now
+            hello_chan.append(now)
+            if from_id == node_id:
+                return
+            # Inlined _update_route(from_id, from_id, 1, info["seq"]).
+            seq = packet.info["seq"]
+            entry = table_get(from_id)
+            if entry is not None:
+                eseq = entry.seq
+                was_valid = entry.valid
+                if (eseq > seq) if eseq != seq else (was_valid and entry.hops <= 1):
+                    if was_valid:
+                        expires = now + art
+                        if entry.expires < expires:
+                            entry.expires = expires
+                    return
+            else:
+                was_valid = False
+            known = memory_get(from_id, -1)
+            if known > seq:
+                return
+            table[from_id] = entry_cls(from_id, from_id, 1, seq, now + art)
+            if known < seq:
+                memory[from_id] = seq
+            if not was_valid:
+                log_route_event(ADD)
+
+        def rerr_fast(packet: Packet, from_id: int) -> None:
+            now = sim.now
+            last_heard[from_id] = now
+            rerr_chan.append(now)
+            announcer = packet.origin
+            invalidated = None
+            for dest, _seq in packet.info["unreachable"]:
+                entry = table_get(dest)
+                if entry is not None and entry.valid and entry.next_hop == announcer:
+                    invalidate(entry)
+                    if invalidated is None:
+                        invalidated = [(dest, entry.seq)]
+                    else:
+                        invalidated.append((dest, entry.seq))
+            if invalidated:
+                self._relay_rerr(packet, invalidated)
+
+        def data_fast(packet: Packet, from_id: int) -> None:
+            now = sim.now
+            last_heard[from_id] = now
+            drop_filter = node.drop_filter
+            if drop_filter is not None and drop_filter(packet):
+                return  # malicious silent drop — no trace at the attacker
+            if packet.dest == node_id:
+                deliver(packet)
+                return
+            packet.ttl -= 1
+            packet.hops += 1
+            if packet.ttl <= 0:
+                log_drop(packet)
+                return
+            entry = table_get(packet.dest)
+            if entry is None or not entry.valid or entry.expires <= now:
+                log_drop(packet)
+                self._send_rerr([packet.dest])
+                return
+            log_packet(DATA, FORWARDED)
+            # Inlined _refresh(packet.origin).
+            oentry = table_get(packet.origin)
+            if oentry is not None and oentry.valid:
+                expires = now + art
+                if oentry.expires < expires:
+                    oentry.expires = expires
+            transmit(packet, entry)
+
+        def rrep_fast(packet: Packet, from_id: int) -> None:
+            last_heard[from_id] = sim.now
+            handle_rrep(packet, from_id)
+
+        typed = {
+            PacketType.RREQ: rreq_fast,
+            PacketType.HELLO: hello_fast,
+            PacketType.RERR: rerr_fast,
+            PacketType.DATA: data_fast,
+            PacketType.RREP: rrep_fast,
+        }
+        typed_get = typed.get
+
+        def handle_packet_fast(packet: Packet, from_id: int) -> None:
+            handler = typed_get(packet.ptype)
+            if handler is not None:
+                handler(packet, from_id)
+            else:
+                # Unknown type: the reference still records liveness.
+                last_heard[from_id] = sim.now
+
+        self.typed_handlers = typed
+        self.handle_packet = handle_packet_fast
+        node.refresh_dispatch()
 
     # ------------------------------------------------------------------
     # Attack surface (called only by repro.attacks)

@@ -10,12 +10,18 @@ packets while a route discovery for their destination is in flight.
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 
 from repro.simulation.node import Node
 from repro.simulation.packet import Direction, Packet, PacketType
 from repro.simulation.stats import RouteEventKind
+
+
+def _default_routing_fast() -> bool:
+    """Routing fast-path default: on, unless ``REPRO_ROUTING_FAST=0``."""
+    return os.environ.get("REPRO_ROUTING_FAST", "1") not in ("0", "false", "no")
 
 
 class PacketBuffer:
@@ -60,14 +66,30 @@ class RoutingProtocol(ABC):
     data packet) and :meth:`handle_packet` (process a packet arriving from
     the medium).  :meth:`handle_overhear` is optional and only meaningful
     for protocols that learn from promiscuous traffic (DSR).
+
+    ``routing_fast`` selects the flattened hot-handler fast path (see
+    DESIGN.md §Routing fast path).  ``None`` (default) reads
+    ``$REPRO_ROUTING_FAST``; an explicit ``True``/``False`` forces the
+    choice.  Either way the protocol produces bit-identical traces — the
+    fast path only changes *how* hot handlers execute, never their
+    decisions.  Protocols that install one publish ``typed_handlers``
+    (packet type -> flattened handler) for the medium's per-type fan-out
+    dispatch rows.
     """
 
     name: str = "base"
 
-    def __init__(self, node: Node):
+    #: Packet-type -> flattened handler map for the medium's typed fan-out
+    #: dispatch (populated by protocols that install a fast path).
+    typed_handlers: dict | None = None
+
+    def __init__(self, node: Node, routing_fast: bool | None = None):
         self.node = node
         self.sim = node.sim
         self.stats = node.stats
+        self.routing_fast: bool = (
+            _default_routing_fast() if routing_fast is None else bool(routing_fast)
+        )
         # Plain attributes / pre-bound methods: these sit on every
         # per-packet path, so skip the property and double lookups.
         self.node_id = node.node_id
@@ -88,6 +110,76 @@ class RoutingProtocol(ABC):
 
     def handle_overhear(self, packet: Packet, from_id: int) -> None:
         """Process a promiscuously overheard packet (default: ignore)."""
+
+    # ------------------------------------------------------------------
+    # Duplicate-flood filter (mode-neutral interface over two stores)
+    # ------------------------------------------------------------------
+    # AODV and DSR both discard repeat copies of a flood via a seen set
+    # keyed by (origin, flood id).  The reference store is one dict keyed
+    # by the tuple; the fast-path store is a dict of per-origin dicts
+    # keyed by the (small-int) flood id, so the hot membership test never
+    # allocates or hashes a tuple.  Same membership answers, same purge
+    # decisions — ``_seen_count`` tracks the total so the >512 purge
+    # trigger matches the reference dict's ``len()``.  Protocols using
+    # this interface initialise ``_seen_rreqs``, ``_seen_by_origin`` and
+    # ``_seen_count`` in ``__init__``.
+
+    _seen_rreqs: dict  # (origin, flood id) -> first-seen time (reference)
+    _seen_by_origin: dict  # origin -> {flood id: first-seen time} (fast)
+    _seen_count: int
+
+    def _seen_mark(self, origin: int, rreq_id: int, now: float) -> None:
+        """Record one (origin, rreq_id) as seen in the active structure."""
+        if self.routing_fast:
+            d = self._seen_by_origin.get(origin)
+            if d is None:
+                self._seen_by_origin[origin] = {rreq_id: now}
+                self._seen_count += 1
+            elif rreq_id not in d:
+                d[rreq_id] = now
+                self._seen_count += 1
+            else:
+                d[rreq_id] = now
+        else:
+            self._seen_rreqs[(origin, rreq_id)] = now
+
+    def _seen_has(self, origin: int, rreq_id: int) -> bool:
+        """Membership test against the active structure."""
+        if self.routing_fast:
+            d = self._seen_by_origin.get(origin)
+            return d is not None and rreq_id in d
+        return (origin, rreq_id) in self._seen_rreqs
+
+    def _seen_size(self) -> int:
+        """Number of remembered (origin, rreq_id) pairs."""
+        if self.routing_fast:
+            return self._seen_count
+        return len(self._seen_rreqs)
+
+    def _seen_prune(self, now: float) -> None:
+        """The reference >512-entry purge, on whichever store is active.
+
+        Identical forgetting decisions either way: trigger when the total
+        exceeds 512, drop exactly the entries older than 30 s.
+        """
+        if self.routing_fast:
+            if self._seen_count > 512:
+                horizon = now - 30.0
+                seen = self._seen_by_origin
+                total = 0
+                for origin, d in list(seen.items()):
+                    kept = {k: t for k, t in d.items() if t >= horizon}
+                    if kept:
+                        seen[origin] = kept
+                        total += len(kept)
+                    else:
+                        del seen[origin]
+                self._seen_count = total
+        elif len(self._seen_rreqs) > 512:
+            horizon = now - 30.0
+            self._seen_rreqs = {
+                k: t for k, t in self._seen_rreqs.items() if t >= horizon
+            }
 
     # ------------------------------------------------------------------
     # Trace-logging helpers

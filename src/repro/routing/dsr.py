@@ -30,7 +30,7 @@ from repro.simulation.packet import BROADCAST, Direction, Packet, PacketType
 from repro.simulation.stats import RouteEventKind
 
 
-@dataclass
+@dataclass(slots=True)
 class _CachedPath:
     """A cached path: hops from (but excluding) the owner, ending at dest."""
 
@@ -124,8 +124,9 @@ class DsrProtocol(RoutingProtocol):
         max_salvage: int = 1,
         gratuitous_replies: bool = True,
         purge_interval: float = 1.0,
+        routing_fast: bool | None = None,
     ):
-        super().__init__(node)
+        super().__init__(node, routing_fast)
         node.promiscuous = True  # DSR taps the channel to learn routes
         self.rreq_timeout = rreq_timeout
         self.rreq_retries = rreq_retries
@@ -137,7 +138,13 @@ class DsrProtocol(RoutingProtocol):
         self.cache = RouteCache(owner=node.node_id, path_ttl=cache_ttl)
         self.rreq_id = 0
         self._forged_rreq_id = 1 << 20
+        # Duplicate-RREQ filter stores (see RoutingProtocol._seen_mark).
         self._seen_rreqs: dict[tuple[int, int], float] = {}
+        self._seen_by_origin: dict[int, dict[int, float]] = {}
+        self._seen_count = 0
+        #: Earliest simulation time the next cache purge could remove a
+        #: path (fast path only; -inf forces the first scan).
+        self._purge_deadline = float("-inf")
         self._buffer = PacketBuffer()
         self._pending: dict[int, int] = {}
         # Packet-type dispatch table (hot path; other types are ignored).
@@ -153,6 +160,9 @@ class DsrProtocol(RoutingProtocol):
             PacketType.RREQ, Direction.RECEIVED
         )
         self.sim.schedule(self.sim.rng.uniform(0, purge_interval), self._purge_tick)
+
+        if self.routing_fast:
+            self._install_fast_path()
 
     # ------------------------------------------------------------------
     # Cache bookkeeping with Feature Set I logging
@@ -238,7 +248,7 @@ class DsrProtocol(RoutingProtocol):
             ttl=self.net_ttl,
             info={"rreq_id": self.rreq_id, "target": dest, "route": [self.node_id]},
         )
-        self._seen_rreqs[(self.node_id, self.rreq_id)] = self.sim.now
+        self._seen_mark(self.node_id, self.rreq_id, self.sim.now)
         self.log_packet(PacketType.RREQ, Direction.SENT)
         self.node.broadcast(packet)
         self.sim.schedule(self.rreq_timeout, self._discovery_timeout, dest, retries_used)
@@ -275,12 +285,43 @@ class DsrProtocol(RoutingProtocol):
         # forged one-hop record: the reversed bogus path (2 hops, through
         # the attacker) out-competes longer legitimate paths in the cache.
         self._learn_path(origin, tuple(reversed(accumulated)), RouteEventKind.ADD)
-        if (origin, rreq_id) in self._seen_rreqs:
+        if self._seen_has(origin, rreq_id):
             return
-        self._seen_rreqs[(origin, rreq_id)] = self.sim.now
+        self._seen_mark(origin, rreq_id, self.sim.now)
         if self.node_id in accumulated:
             return  # already on the record: a loop
 
+        if target == self.node_id:
+            full_path = [*accumulated, self.node_id]
+            self._send_rrep(origin, target, full_path)
+            return
+        if self.gratuitous_replies:
+            cached = self.cache.get(target, self.sim.now)
+            if cached is not None and not (set(cached) & set(accumulated)) and self.node_id not in cached:
+                self.log_route_event(RouteEventKind.FIND)
+                full_path = [*accumulated, self.node_id, *cached]
+                self._send_rrep(origin, target, full_path)
+                return
+        if packet.ttl <= 1:
+            return
+        relay = packet.copy()
+        relay.ttl -= 1
+        relay.hops += 1
+        relay.info["route"] = [*accumulated, self.node_id]
+        self.log_packet(PacketType.RREQ, Direction.FORWARDED)
+        self.node.broadcast(relay)
+
+    def _rreq_fresh(
+        self, packet: Packet, origin: int, info: dict, accumulated: list[int]
+    ) -> None:
+        """Reference tail of :meth:`_handle_rreq` for a first-copy RREQ.
+
+        Everything past the duplicate/loop discards: answer as the target,
+        answer gratuitously from the cache, or rebroadcast with this node
+        appended to the route record.  Shared verbatim by the reference
+        handler's flow and the fast path (which inlines only the discards).
+        """
+        target = info["target"]
         if target == self.node_id:
             full_path = [*accumulated, self.node_id]
             self._send_rrep(origin, target, full_path)
@@ -450,12 +491,32 @@ class DsrProtocol(RoutingProtocol):
     # Periodic machinery
     # ------------------------------------------------------------------
     def _purge_tick(self) -> None:
-        removed = self.cache.purge(self.sim.now)
-        for _ in range(removed):
-            self.log_route_event(RouteEventKind.REMOVAL)
-        if len(self._seen_rreqs) > 512:
-            horizon = self.sim.now - 30.0
-            self._seen_rreqs = {k: t for k, t in self._seen_rreqs.items() if t >= horizon}
+        now = self.sim.now
+        if not self.routing_fast:
+            # Reference scan: walk the whole cache every tick.
+            removed = self.cache.purge(now)
+            for _ in range(removed):
+                self.log_route_event(RouteEventKind.REMOVAL)
+        elif now >= self._purge_deadline:
+            # A purge only removes paths with expires <= now, and between
+            # scans a path's expiry only moves up (cache.add refreshes;
+            # new paths expire a full TTL out; remove_link only deletes).
+            # So the minimum expiry seen at a scan bounds the next tick
+            # that could do anything, and earlier ticks skip bit-identically.
+            deadline = now + self.cache.path_ttl
+            removed = 0
+            paths = self.cache._paths
+            for dest, entries in paths.items():
+                keep = [c for c in entries if c.expires > now]
+                removed += len(entries) - len(keep)
+                paths[dest] = keep
+                for cached in keep:
+                    if cached.expires < deadline:
+                        deadline = cached.expires
+            self._purge_deadline = deadline
+            for _ in range(removed):
+                self.log_route_event(RouteEventKind.REMOVAL)
+        self._seen_prune(now)
         self.sim.schedule(self.purge_interval, self._purge_tick)
 
     # ------------------------------------------------------------------
@@ -465,6 +526,127 @@ class DsrProtocol(RoutingProtocol):
         handler = self._dispatch.get(packet.ptype)
         if handler is not None:
             handler(packet, from_id)
+
+    # ------------------------------------------------------------------
+    # Routing fast path (REPRO_ROUTING_FAST; see DESIGN.md)
+    # ------------------------------------------------------------------
+    def _install_fast_path(self) -> None:
+        """Swap in flattened per-type handlers for the delivery hot path.
+
+        Mirrors :meth:`AodvProtocol._install_fast_path`: the RREQ and DATA
+        handlers — the two types that arrive once per neighbor per flood /
+        per hop — run their cheap-discard decisions in one Python frame
+        with hot state bound as closure locals, delegating to the cold
+        reference helpers (:meth:`_rreq_fresh`, link-failure maintenance)
+        the moment a packet stops being cheap.  RREP/RERR stay on the
+        reference handlers.  Bit-identity is asserted by the trace
+        equivalence matrix and the Hypothesis property suite.
+        """
+        sim = self.sim
+        node = self.node
+        node_id = self.node_id
+        seen = self._seen_by_origin
+        rreq_chan = self._rreq_recv
+        cache_paths = self.cache._paths
+        path_ttl = self.cache.path_ttl
+        max_paths = self.cache.max_paths_per_dest
+        path_cls = _CachedPath
+        evict_key = lambda c: (len(c.path), c.expires)  # noqa: E731
+        log_route_event = self.log_route_event
+        log_packet = self.log_packet
+        log_drop = self.log_drop
+        deliver = node.deliver
+        unicast = node.unicast
+        on_data_fail = self._on_data_link_fail
+        rreq_fresh = self._rreq_fresh
+        ADD = RouteEventKind.ADD
+        DATA = PacketType.DATA
+        FORWARDED = Direction.FORWARDED
+
+        def rreq_fast(packet: Packet, from_id: int) -> None:
+            now = sim.now
+            rreq_chan.append(now)
+            info = packet.info
+            origin = packet.origin
+            accumulated = info["route"]
+            # Inlined _learn_path(origin, reversed record, ADD) — including
+            # the cache.add dedup/refresh/evict scan, so duplicate flood
+            # copies (which still refresh the cached back-path) stay in
+            # this frame.
+            if origin != node_id and accumulated:
+                path = tuple(reversed(accumulated))
+                if len(set(path)) == len(path) and node_id not in path:
+                    entries = cache_paths.get(origin)
+                    if entries is None:
+                        cache_paths[origin] = [path_cls(path, now + path_ttl)]
+                        log_route_event(ADD)
+                    else:
+                        for cached in entries:
+                            if cached.path == path:
+                                cached.expires = now + path_ttl
+                                break
+                        else:
+                            entries.append(path_cls(path, now + path_ttl))
+                            if len(entries) > max_paths:
+                                entries.sort(key=evict_key)
+                                del entries[max_paths:]
+                            log_route_event(ADD)
+            rreq_id = info["rreq_id"]
+            d = seen.get(origin)
+            if d is None:
+                seen[origin] = {rreq_id: now}
+                self._seen_count += 1
+            elif rreq_id in d:
+                return  # duplicate flood copy: discarded right here
+            else:
+                d[rreq_id] = now
+                self._seen_count += 1
+            if node_id in accumulated:
+                return  # already on the record: a loop
+            rreq_fresh(packet, origin, info, accumulated)
+
+        def data_fast(packet: Packet, from_id: int) -> None:
+            drop_filter = node.drop_filter
+            if drop_filter is not None and drop_filter(packet):
+                return  # malicious silent drop — no trace at the attacker
+            if packet.dest == node_id:
+                deliver(packet)
+                return
+            packet.ttl -= 1
+            packet.hops += 1
+            if packet.ttl <= 0:
+                log_drop(packet)
+                return
+            relay = packet.copy()
+            relay_info = relay.info
+            index = relay_info["sr_index"] + 1
+            relay_info["sr_index"] = index
+            sr = relay_info["sr"]
+            if index + 1 >= len(sr):
+                log_drop(packet)  # malformed source route
+                return
+            log_packet(DATA, FORWARDED)
+            # Inlined _relay_source_routed for a DATA relay.
+            if not unicast(relay, sr[index + 1], on_data_fail):
+                log_drop(relay)  # interface-queue overflow
+            return
+
+        typed = {
+            PacketType.DATA: data_fast,
+            PacketType.RREQ: rreq_fast,
+            PacketType.RREP: self._handle_rrep,
+            PacketType.RERR: self._handle_rerr,
+        }
+        typed_get = typed.get
+
+        def handle_packet_fast(packet: Packet, from_id: int) -> None:
+            handler = typed_get(packet.ptype)
+            if handler is not None:
+                handler(packet, from_id)
+
+        self.typed_handlers = typed
+        self.handle_packet = handle_packet_fast
+        node.refresh_dispatch()
 
     # ------------------------------------------------------------------
     # Attack surface (called only by repro.attacks)

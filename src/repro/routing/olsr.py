@@ -53,8 +53,9 @@ class OlsrProtocol(RoutingProtocol):
         neighbor_hold: float = 6.0,
         topology_hold: float = 16.0,
         route_interval: float = 1.0,
+        routing_fast: bool | None = None,
     ):
-        super().__init__(node)
+        super().__init__(node, routing_fast)
         self.hello_interval = hello_interval
         self.tc_interval = tc_interval
         self.neighbor_hold = neighbor_hold
@@ -83,6 +84,13 @@ class OlsrProtocol(RoutingProtocol):
             PacketType.HELLO: self._handle_hello,
             PacketType.TC: self._handle_tc,
         }
+        if self.routing_fast:
+            # OLSR's handle_packet is pure dispatch (no per-packet side
+            # effects before the handler), so the typed fan-out rows can
+            # bind the reference handlers directly — the win is skipping
+            # the handle_packet frame + dict lookup per delivery.
+            self.typed_handlers = dict(self._dispatch)
+            node.refresh_dispatch()
 
         rng = self.sim.rng
         self.sim.schedule(rng.uniform(0, hello_interval), self._hello_tick)

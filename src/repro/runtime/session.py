@@ -32,6 +32,8 @@ from __future__ import annotations
 import os
 import time
 import warnings
+from contextlib import contextmanager, nullcontext
+from types import SimpleNamespace
 from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from repro.eval.experiments import (
@@ -151,6 +153,13 @@ class Session:
     faults:
         Optional :class:`~repro.runtime.faults.FaultPlan` injected into
         both the executor and the cache (deterministic chaos testing).
+    profile_stages:
+        ``True`` wraps every timed pipeline stage (``simulate`` /
+        ``extract`` / ``fit`` / ``stream`` / ``fleet``) in a cProfile
+        and collects one top-N cumulative table per stage on
+        :attr:`profiler` (a :class:`~repro.runtime.profiling.
+        StageProfiler`; ``session.profiler.render()`` prints them).
+        ``None`` (default) reads ``$REPRO_PROFILE_STAGES``.
     """
 
     def __init__(
@@ -165,6 +174,7 @@ class Session:
         task_timeout: float | None = None,
         max_retries: int | None = None,
         faults: FaultPlan | None = None,
+        profile_stages: bool | None = None,
     ):
         self.jobs = _env_jobs() if jobs is None else max(1, int(jobs))
         self.metrics = metrics if metrics is not None else RuntimeMetrics()
@@ -202,10 +212,39 @@ class Session:
         else:
             self.journal = None
             self._journaled = frozenset()
+        if profile_stages is None:
+            profile_stages = os.environ.get(
+                "REPRO_PROFILE_STAGES", "0"
+            ) not in ("0", "false", "")
+        if profile_stages:
+            from repro.runtime.profiling import StageProfiler
+
+            self.profiler: "StageProfiler | None" = StageProfiler()
+        else:
+            self.profiler = None
         self._raw: dict[ExperimentPlan, RawTraces] = {}
         self._bundles: dict[ExperimentPlan, TraceBundle] = {}
         self._results: dict[tuple, DetectionResult] = {}
         self._detectors: dict[tuple, "CrossFeatureDetector"] = {}
+
+    @contextmanager
+    def _stage(self, name: str):
+        """Time one pipeline stage (and profile it when enabled).
+
+        Yields a namespace whose ``elapsed`` holds the stage seconds once
+        the block exits; the duration is recorded via
+        :meth:`RuntimeMetrics.record_stage` and, with ``profile_stages``
+        on, the block's execution accumulates into ``profiler``'s table
+        for ``name``.
+        """
+        ctx = self.profiler.stage(name) if self.profiler is not None \
+            else nullcontext()
+        timer = SimpleNamespace(elapsed=0.0)
+        t0 = time.perf_counter()
+        with ctx:
+            yield timer
+        timer.elapsed = time.perf_counter() - t0
+        self.metrics.record_stage(name, timer.elapsed)
 
     # ------------------------------------------------------------------
     # Trace level
@@ -255,11 +294,10 @@ class Session:
                 if self.cache.put(key, trace) and self.journal is not None:
                     self.journal.record(key)
 
-        t0 = time.perf_counter()
-        fresh = self.executor.run(
-            [task for _, _, task in pending], on_result=flush
-        )
-        self.metrics.record_stage("simulate", time.perf_counter() - t0)
+        with self._stage("simulate"):
+            fresh = self.executor.run(
+                [task for _, _, task in pending], on_result=flush
+            )
         for (i, _key, _task), trace in zip(pending, fresh):
             if results[i] is None:  # pragma: no cover - flush already filled these
                 results[i] = trace
@@ -330,15 +368,13 @@ class Session:
         """
         if monitor is not None and monitor != plan.monitor:
             raw = self.raw_traces(plan)
-            t0 = time.perf_counter()
-            bundle = extract_bundle(raw, monitor=monitor)
-            self.metrics.record_stage("extract", time.perf_counter() - t0)
+            with self._stage("extract"):
+                bundle = extract_bundle(raw, monitor=monitor)
             return bundle
         if plan not in self._bundles:
             raw = self.raw_traces(plan)
-            t0 = time.perf_counter()
-            self._bundles[plan] = extract_bundle(raw)
-            self.metrics.record_stage("extract", time.perf_counter() - t0)
+            with self._stage("extract"):
+                self._bundles[plan] = extract_bundle(raw)
         return self._bundles[plan]
 
     def detect(
@@ -407,13 +443,12 @@ class Session:
                 n_buckets=n_buckets,
                 n_jobs=n_jobs,
             )
-            t0 = time.perf_counter()
-            detector.fit(
-                bundle.train.X,
-                feature_names=bundle.train.feature_names,
-                calibration_X=bundle.calibration.X,
-            )
-            self.metrics.record_stage("fit", time.perf_counter() - t0)
+            with self._stage("fit"):
+                detector.fit(
+                    bundle.train.X,
+                    feature_names=bundle.train.feature_names,
+                    calibration_X=bundle.calibration.X,
+                )
             self._detectors[key] = detector
         return self._detectors[key]
 
@@ -565,25 +600,23 @@ class Session:
         )
         if durable:
             trace = self.trace(config, attacks, label=f"stream[{seed}]")
-            t0 = time.perf_counter()
-            run_durable_stream(
-                trace,
-                tap,
-                online,
-                injector,
-                checkpoint=checkpoint,
-                checkpoint_every=checkpoint_every,
-                resume_from=resume_from,
-                faults=stream_faults,
-                on_checkpoint=lambda p: self.metrics.record_checkpoint(str(p)),
-                on_restore=lambda p: self.metrics.record_restore(str(p)),
-            )
-            elapsed = time.perf_counter() - t0
+            with self._stage("stream") as timer:
+                run_durable_stream(
+                    trace,
+                    tap,
+                    online,
+                    injector,
+                    checkpoint=checkpoint,
+                    checkpoint_every=checkpoint_every,
+                    resume_from=resume_from,
+                    faults=stream_faults,
+                    on_checkpoint=lambda p: self.metrics.record_checkpoint(str(p)),
+                    on_restore=lambda p: self.metrics.record_restore(str(p)),
+                )
         else:
-            t0 = time.perf_counter()
-            trace = run_scenario(config, attacks=attacks, taps=[tap])
-            elapsed = time.perf_counter() - t0
-        self.metrics.record_stage("stream", elapsed)
+            with self._stage("stream") as timer:
+                trace = run_scenario(config, attacks=attacks, taps=[tap])
+        elapsed = timer.elapsed
 
         ticks = np.asarray(trace.tick_times, dtype=float)
         labels = np.asarray(trace.window_labels(plan.label_policy), dtype=bool)
@@ -783,34 +816,32 @@ class Session:
             for name, seed in zip(scenario_names, seeds):
                 config = plan.scenario_config(seed)
                 traces[name] = self.trace(config, attacks, label=f"fleet[{name}]")
-            t0 = time.perf_counter()
-            run_durable_fleet(
-                traces,
-                fleet,
-                checkpoint=checkpoint,
-                checkpoint_every=checkpoint_every,
-                resume_from=resume_from,
-                faults=stream_faults,
-                on_checkpoint=lambda r: self.metrics.record_checkpoint(str(r)),
-                on_restore=lambda r: self.metrics.record_restore(str(r)),
-            )
-            elapsed = time.perf_counter() - t0
+            with self._stage("fleet") as timer:
+                run_durable_fleet(
+                    traces,
+                    fleet,
+                    checkpoint=checkpoint,
+                    checkpoint_every=checkpoint_every,
+                    resume_from=resume_from,
+                    faults=stream_faults,
+                    on_checkpoint=lambda r: self.metrics.record_checkpoint(str(r)),
+                    on_restore=lambda r: self.metrics.record_restore(str(r)),
+                )
             for name, trace in traces.items():
                 truth = scenario_truth(trace)
                 for tap in fleet.taps(name):
                     labels[tap.name] = truth
         else:
-            t0 = time.perf_counter()
-            for name, seed in zip(scenario_names, seeds):
-                config = plan.scenario_config(seed)
-                taps = fleet.taps(name)
-                trace = run_scenario(config, attacks=attacks, taps=taps)
-                truth = scenario_truth(trace)
-                for tap in taps:
-                    labels[tap.name] = truth
-            fleet.finish()
-            elapsed = time.perf_counter() - t0
-        self.metrics.record_stage("fleet", elapsed)
+            with self._stage("fleet") as timer:
+                for name, seed in zip(scenario_names, seeds):
+                    config = plan.scenario_config(seed)
+                    taps = fleet.taps(name)
+                    trace = run_scenario(config, attacks=attacks, taps=taps)
+                    truth = scenario_truth(trace)
+                    for tap in taps:
+                        labels[tap.name] = truth
+                fleet.finish()
+        elapsed = timer.elapsed
         # Lanes that crashed, were sealed or quarantined rows hold fewer
         # scored windows than trace ticks; drop misaligned ground truth.
         for name, lane_labels in list(labels.items()):

@@ -29,6 +29,7 @@ churn of broadcast fan-out.
 
 from __future__ import annotations
 
+import gc
 import heapq
 import os
 import random
@@ -156,6 +157,14 @@ class Simulator:
         self._bucket: list[tuple[float, int, Event]] = []
         self._bucket_pos = 0
         self._bucket_horizon = float("-inf")
+        # Parked delivery batches with an in-window next entry.  A macro
+        # parking into the open bucket would memmove the bucket tail on
+        # every park (the dominant kernel cost at scale: most deliveries
+        # park); a dedicated heap makes that O(log live-macros) instead.
+        # Invariant: every entry here is <= _bucket_horizon, so the run
+        # loop's two-way min (bucket head vs this heap's top) preserves
+        # the exact total (time, seq) order.  Empty outside run().
+        self._macro_heap: list[tuple[float, int, Event]] = []
         self._until: float | None = None
         self._event_pool: list[Event] = []
         self._macro_pool: list[MacroEvent] = []
@@ -232,7 +241,10 @@ class Simulator:
         event._queued = True
         self._pending += 1
         if time <= self._bucket_horizon:
-            insort(self._bucket, (time, seq, event), lo=self._bucket_pos)
+            if event._macro:
+                heapq.heappush(self._macro_heap, (time, seq, event))
+            else:
+                insort(self._bucket, (time, seq, event), lo=self._bucket_pos)
         else:
             heapq.heappush(self._heap, (time, seq, event))
 
@@ -284,11 +296,20 @@ class Simulator:
             self._macro_pool.append(macro)
 
     def _next_key(self) -> tuple[float, int, Event] | None:
-        """The queue entry that would execute next (bucket head, else heap top)."""
+        """The queue entry that would execute next.
+
+        Minimum of the bucket head and the parked-macro heap (both within
+        the open window, so both precede everything on the main heap),
+        falling back to the main heap top.
+        """
         pos = self._bucket_pos
         bucket = self._bucket
-        if pos < len(bucket):
-            return bucket[pos]
+        nxt = bucket[pos] if pos < len(bucket) else None
+        mheap = self._macro_heap
+        if mheap and (nxt is None or mheap[0] < nxt):
+            nxt = mheap[0]
+        if nxt is not None:
+            return nxt
         heap = self._heap
         if heap:
             return heap[0]
@@ -312,13 +333,20 @@ class Simulator:
             else:
                 self._run_reference(until)
         finally:
-            # Return any unconsumed bucket tail to the heap so state is
-            # consistent after stop()/until/exceptions, then close the lane.
+            # Return any unconsumed bucket tail and parked macros to the
+            # heap so state is consistent after stop()/until/exceptions,
+            # then close the lane.
             bucket = self._bucket
             if self._bucket_pos < len(bucket):
                 heap = self._heap
                 for entry in bucket[self._bucket_pos:]:
                     heapq.heappush(heap, entry)
+            mheap = self._macro_heap
+            if mheap:
+                heap = self._heap
+                for entry in mheap:
+                    heapq.heappush(heap, entry)
+                del mheap[:]
             del bucket[:]
             self._bucket_pos = 0
             self._bucket_horizon = float("-inf")
@@ -358,16 +386,40 @@ class Simulator:
         it by index.  Events scheduled into the open window during dispatch
         are insorted into the unconsumed tail, so total order is preserved.
         """
+        # The bucketed kernel recycles its events and packets from pools
+        # and frees everything else by refcount, so cyclic-GC generation
+        # scans are pure overhead at millions of dispatches — pause the
+        # collector for the duration of the run.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self._run_bucketed_loop(until)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run_bucketed_loop(self, until: float | None) -> None:
         heap = self._heap
         bucket = self._bucket
+        mheap = self._macro_heap
         pool = self._event_pool
         macro_pool = self._macro_pool
         quantum = self.lane_quantum
         heappop = heapq.heappop
         heappush = heapq.heappush
+        heapreplace = heapq.heapreplace
         while self._running:
             pos = self._bucket_pos
-            if pos >= len(bucket):
+            if pos < len(bucket):
+                entry = bucket[pos]
+                if mheap and mheap[0] < entry:
+                    entry = heappop(mheap)
+                else:
+                    self._bucket_pos = pos + 1
+            elif mheap:
+                entry = heappop(mheap)
+            else:
                 # Refill: open a new bucket window at the next event time.
                 del bucket[:]
                 self._bucket_pos = 0
@@ -385,9 +437,6 @@ class Simulator:
                 while heap and heap[0][0] <= horizon:
                     bucket.append(heappop(heap))
                 continue
-            entry = bucket[pos]
-            pos += 1
-            self._bucket_pos = pos
             event = entry[2]
             if event.cancelled:
                 continue
@@ -397,46 +446,137 @@ class Simulator:
             self._processed += 1
             if event._macro:
                 # Inline macro dispatch: run consecutive batch entries while
-                # the next one still precedes every other queued event, then
-                # park the batch at its next reserved (time, seq) key.  This
-                # avoids a Python frame + requeue per delivery when several
-                # broadcasts' jitter windows interleave.
+                # the next one still precedes every other queued event.  When
+                # another *parked macro* precedes instead, swap to it right
+                # here (heapreplace keeps the total order) — delivery-heavy
+                # workloads interleave many concurrent fan-outs, and the
+                # macro-to-macro hop skips the generic iteration entirely
+                # (the park's queued/pending updates and the adoption's
+                # cancel out, so neither is touched).  Only a non-macro
+                # event (or exhaustion) falls back to the outer loop.
                 m_entries = event.entries
-                margs = event.shared_args
+                pkt, snd = event.shared_args
                 mi = event.cursor
                 mn = len(m_entries)
+                # Loop-invariant hoists.  _bucket_pos and _bucket_horizon
+                # only change in the outer loop (in-window schedules insort
+                # at lo=_bucket_pos without moving it), and every mutation
+                # of the bucket or heap during dispatch comes from a
+                # schedule_* call, which bumps _seq — so the boundary `nxt`
+                # can be cached and revalidated against _seq alone.  (The
+                # swap paths' own heap pushes reset `sv` explicitly.)
+                bpos = self._bucket_pos
+                bhor = self._bucket_horizon
+                no_until = until is None
+                nxt = None
+                sv = -1
+                proc = 0
                 while True:
-                    m_entries[mi][2](*margs)
+                    m_entries[mi][2](pkt, snd)
                     mi += 1
                     if mi == mn:
                         m_entries.clear()
                         event.shared_args = _NO_ARGS
                         if len(macro_pool) < _EVENT_POOL_CAP:
                             macro_pool.append(event)
+                        if mheap and self._running:
+                            # Adopt the earliest parked macro if it still
+                            # precedes every non-macro event.
+                            if self._seq != sv:
+                                sv = self._seq
+                                if bpos < len(bucket):
+                                    nxt = bucket[bpos]
+                                elif heap:
+                                    nxt = heap[0]
+                                else:
+                                    nxt = None
+                            head = mheap[0]
+                            if (nxt is None or head < nxt) and (
+                                no_until or head[0] <= until
+                            ):
+                                heappop(mheap)
+                                event = head[2]
+                                event._queued = False
+                                self._pending -= 1
+                                self.now = head[0]
+                                proc += 1
+                                m_entries = event.entries
+                                pkt, snd = event.shared_args
+                                mi = event.cursor
+                                mn = len(m_entries)
+                                continue
                         break
                     me = m_entries[mi]
-                    if self._running and (until is None or me[0] <= until):
-                        pos = self._bucket_pos
-                        if pos < len(bucket):
-                            nxt = bucket[pos]
-                        elif heap:
-                            nxt = heap[0]
-                        else:
-                            nxt = None
+                    if self._running and (no_until or me[0] <= until):
+                        if self._seq != sv:
+                            sv = self._seq
+                            if bpos < len(bucket):
+                                nxt = bucket[bpos]
+                            elif heap:
+                                nxt = heap[0]
+                            else:
+                                nxt = None
                         if nxt is None or me < nxt:
+                            if mheap:
+                                head = mheap[0]
+                                if head < me:
+                                    # Park here, adopt the earlier macro:
+                                    # one C-level sift, no outer-loop trip.
+                                    # Entries past the horizon belong on
+                                    # the main heap (mheap invariant).
+                                    event.cursor = mi
+                                    event.time = me[0]
+                                    event.seq = me[1]
+                                    if me[0] <= bhor:
+                                        heapreplace(mheap, (me[0], me[1], event))
+                                    else:
+                                        heappop(mheap)
+                                        heappush(heap, (me[0], me[1], event))
+                                        sv = -1
+                                    event = head[2]
+                                    self.now = head[0]
+                                    proc += 1
+                                    m_entries = event.entries
+                                    pkt, snd = event.shared_args
+                                    mi = event.cursor
+                                    mn = len(m_entries)
+                                    continue
                             self.now = me[0]
-                            self._processed += 1
+                            proc += 1
+                            continue
+                        if mheap and mheap[0] < nxt:
+                            # A parked macro precedes the non-macro head:
+                            # swap with it and keep dispatching inline.
+                            head = mheap[0]
+                            event.cursor = mi
+                            event.time = me[0]
+                            event.seq = me[1]
+                            if me[0] <= bhor:
+                                heapreplace(mheap, (me[0], me[1], event))
+                            else:
+                                heappop(mheap)
+                                heappush(heap, (me[0], me[1], event))
+                                sv = -1
+                            event = head[2]
+                            self.now = head[0]
+                            proc += 1
+                            m_entries = event.entries
+                            pkt, snd = event.shared_args
+                            mi = event.cursor
+                            mn = len(m_entries)
                             continue
                     event.cursor = mi
                     event.time = me[0]
                     event.seq = me[1]
                     event._queued = True
                     self._pending += 1
-                    if me[0] <= self._bucket_horizon:
-                        insort(bucket, (me[0], me[1], event), lo=self._bucket_pos)
+                    if me[0] <= bhor:
+                        heappush(mheap, (me[0], me[1], event))
                     else:
                         heappush(heap, (me[0], me[1], event))
                     break
+                if proc:
+                    self._processed += proc
                 continue
             event.callback(*event.args)
             if event._transient and not event._queued:

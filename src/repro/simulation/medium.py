@@ -167,6 +167,16 @@ class WirelessMedium:
         # Node.set_routing), skipping the on_receive trampoline.
         self._handlers: list[Callable[[Packet, int], None]] = []
         self._overhear_handlers: list[Callable[[Packet, int], None]] = []
+        # Typed dispatch: per-node {ptype: flattened handler} maps published
+        # by fast-path protocols (see RoutingProtocol.typed_handlers), and
+        # the per-ptype rows derived from them.  A broadcast fan-out knows
+        # its packet type once, so each batch entry can bind the receiver's
+        # type-specific handler instead of re-dispatching per delivery.
+        # With no fast handlers registered a row degenerates to _handlers'
+        # contents, so the reference configuration pays one dict lookup per
+        # fan-out and nothing else.
+        self._typed_handlers: list[dict | None] = []
+        self._typed_rows: dict[int, list[Callable[[Packet, int], None]]] = {}
         self._tx_times: dict[int, float] = {}
         # Counters for tests / diagnostics.
         self.congestion_drops = 0
@@ -184,6 +194,8 @@ class WirelessMedium:
         self._busy_until.append(0.0)
         self._handlers.append(node.on_receive)
         self._overhear_handlers.append(node.on_overhear)
+        self._typed_handlers.append(None)
+        self._typed_rows.clear()
         if node.promiscuous:
             self._note_promiscuous(node.node_id, True)
 
@@ -200,10 +212,27 @@ class WirelessMedium:
         node_id: int,
         receive: Callable[[Packet, int], None],
         overhear: Callable[[Packet, int], None],
+        typed: dict | None = None,
     ) -> None:
         """Point the dispatch tables at the node's installed protocol."""
         self._handlers[node_id] = receive
         self._overhear_handlers[node_id] = overhear
+        self._typed_handlers[node_id] = typed
+        self._typed_rows.clear()
+
+    def _typed_row(self, ptype: int) -> list[Callable[[Packet, int], None]]:
+        """Per-receiver handler row for one packet type (built lazily).
+
+        Row ``i`` is node ``i``'s flattened handler for ``ptype`` when its
+        protocol published one, else its generic receive handler.  Rows are
+        invalidated whenever a node attaches or swaps handlers.
+        """
+        row = [
+            typed[ptype] if typed is not None and ptype in typed else generic
+            for typed, generic in zip(self._typed_handlers, self._handlers)
+        ]
+        self._typed_rows[ptype] = row
+        return row
 
     def _index_usable(self) -> bool:
         """The fast paths assume the medium sees every mobility node.
@@ -315,7 +344,13 @@ class WirelessMedium:
         rng_random = sim.rng.random
         now = sim.now
         loss = self.loss_rate
-        handlers = self._handlers
+        # Receiver pre-classification: the packet type is fixed for the
+        # whole fan-out, so resolve each receiver's type-specific flattened
+        # handler here — per batch, not per delivery.
+        ptype = packet.ptype
+        handlers = self._typed_rows.get(ptype)
+        if handlers is None:
+            handlers = self._typed_row(ptype)
         batch = sim.alloc_macro()
         entries = batch.entries
         seq = sim._seq

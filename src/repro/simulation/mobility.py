@@ -184,16 +184,20 @@ class RandomWaypointMobility:
         else:
             # Six 1-D gathers from the contiguous row views: measurably
             # faster than one (6, n)[:, idx] fancy-index for the ~100-200
-            # element candidate subsets a neighbor query produces.
-            x0 = self._x0[idx]
-            y0 = self._y0[idx]
-            x1 = self._x1[idx]
-            y1 = self._y1[idx]
-            depart = self._depart[idx]
-            arrive = self._arrive[idx]
-        span = arrive - depart
-        moving = (t < arrive) & (span > 0.0)
-        frac = (t - depart) / np.where(moving, span, 1.0)
+            # element candidate subsets a neighbor query produces.  `take`
+            # skips the general fancy-indexing machinery.
+            x0 = self._x0.take(idx)
+            y0 = self._y0.take(idx)
+            x1 = self._x1.take(idx)
+            y1 = self._y1.take(idx)
+            depart = self._depart.take(idx)
+            arrive = self._arrive.take(idx)
+        # Advanced nodes always satisfy depart <= t, so a zero-length leg
+        # (arrive == depart, only when the waypoint draw repeats the
+        # current position) already fails `t < arrive` — the reference
+        # scalar's `arrive == depart` guard needs no separate term.
+        moving = t < arrive
+        frac = (t - depart) / np.where(moving, arrive - depart, 1.0)
         xs = np.where(moving, x0 + frac * (x1 - x0), x1)
         ys = np.where(moving, y0 + frac * (y1 - y0), y1)
         return xs, ys

@@ -79,12 +79,27 @@ class Node:
         if self.routing is not None:
             raise RuntimeError(f"node {self.node_id} already has a routing protocol")
         self.routing = protocol
-        # Point the medium's dispatch tables straight at the protocol so
-        # batched delivery skips the on_receive/on_overhear trampolines.
+        self.refresh_dispatch()
+
+    def refresh_dispatch(self) -> None:
+        """(Re-)point the medium's dispatch tables at the protocol handlers.
+
+        Called on protocol install and again after a protocol swaps in its
+        flattened fast-path handlers (which happens after ``set_routing``,
+        at the end of the protocol's own ``__init__``).  Batched delivery
+        then skips the on_receive/on_overhear trampolines, and broadcast
+        fan-out can bind per-packet-type handlers from ``typed_handlers``.
+        """
+        protocol = self.routing
+        if protocol is None:
+            return
         nodes = self.medium.nodes
         if self.node_id < len(nodes) and nodes[self.node_id] is self:
             self.medium._note_handlers(
-                self.node_id, protocol.handle_packet, protocol.handle_overhear
+                self.node_id,
+                protocol.handle_packet,
+                protocol.handle_overhear,
+                protocol.typed_handlers,
             )
 
     def register_agent(self, flow_id: int, agent: TrafficAgent) -> None:

@@ -84,13 +84,20 @@ class TestCacheHygiene:
         assert net.protocols[0].cache.get(2, net.sim.now) is None
         assert net.stats(0).route_event_count(RouteEventKind.REMOVAL) >= 1
 
-    def test_seen_rreq_cache_pruned(self):
-        net = line(2, protocol="dsr")
+    @pytest.mark.parametrize("routing_fast", [False, True])
+    def test_seen_rreq_cache_pruned(self, routing_fast):
+        """Both seen stores forget ancient entries once >512 accumulate."""
+        net = line(2, protocol="dsr", routing_fast=routing_fast)
         proto = net.protocols[0]
         for i in range(600):
-            proto._seen_rreqs[(99, i)] = 0.0
-        net.run(3 * proto.purge_interval)
-        assert len(proto._seen_rreqs) <= 600
+            proto._seen_mark(99, i, -1.0)
+        assert proto._seen_size() == 600
+        assert proto._seen_has(99, 0)
+        # Outlast the 30 s forget horizon, then guarantee one more
+        # purge tick fires past it.
+        net.run(31.0 + proto.purge_interval)
+        assert proto._seen_size() < 600
+        assert not proto._seen_has(99, 0)
 
 
 class TestGratuitousReplies:

@@ -1,0 +1,158 @@
+"""Property test: the routing fast path is observationally invisible.
+
+Hypothesis drives randomized RREQ flood fan-outs — arbitrary static
+topologies, forged origins, duplicate-heavy request ids, short TTLs —
+through two otherwise identical stacks:
+
+* **fast** — batched medium delivery (the macro fan-out whose typed
+  dispatch rows call the flattened handlers) with ``routing_fast=True``
+  (per-origin seen structures + pre-classified duplicate discards);
+* **reference** — per-receiver heap delivery with ``routing_fast=False``
+  (the verbatim reference handler bodies and the tuple-keyed seen dict).
+
+After the floods (and the protocols' own background HELLO traffic) play
+out, the two stacks must agree on
+
+1. **seen-state** — every ``(origin, rreq_id)`` membership answer and the
+   total seen count on every node;
+2. **stats counters** — the complete per-node packet/route event streams,
+   timestamp for timestamp (not just the counts);
+3. **rebroadcast order** — the globally merged RREQ ``FORWARDED``
+   schedule.  Identical timestamps imply identical order: every
+   delivery jitter is drawn from the shared simulator RNG in dispatch
+   order, so any reordering would shift every draw after it.
+
+This is the micro-scale complement of the 8-mode scenario matrix in
+``tests/simulation/test_trace_equivalence.py``: instead of a handful of
+seeded scenarios it samples the space of flood patterns directly, and
+shrinks to a minimal counterexample on failure.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.routing.aodv import AodvProtocol
+from repro.routing.dsr import DsrProtocol
+from repro.simulation.engine import Simulator
+from repro.simulation.medium import WirelessMedium
+from repro.simulation.mobility import StaticMobility
+from repro.simulation.node import Node
+from repro.simulation.packet import BROADCAST, Direction, Packet, PacketType
+from repro.simulation.stats import TraceRecorder
+
+MAX_NODES = 6
+#: Flood ids are drawn tiny on purpose: most generated fan-outs contain
+#: duplicates, which is exactly the path the pre-classifier optimizes.
+RREQ_IDS = st.integers(min_value=0, max_value=3)
+NODE_IDS = st.integers(min_value=0, max_value=MAX_NODES - 1)
+
+positions = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=400.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=400.0, allow_nan=False),
+    ),
+    min_size=3,
+    max_size=MAX_NODES,
+)
+
+#: One injected flood copy: (sender, forged origin, rreq id, target,
+#: ttl, injection delay).  Origins are *not* tied to the sender — forged
+#: floods (the impersonation lever) must take the same path either way.
+floods = st.lists(
+    st.tuples(
+        NODE_IDS,
+        NODE_IDS,
+        RREQ_IDS,
+        NODE_IDS,
+        st.integers(min_value=1, max_value=4),
+        st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def _build(protocol, places, routing_fast):
+    """One full stack; ``routing_fast`` gates both kill switches at once."""
+    sim = Simulator(seed=7)
+    mobility = StaticMobility(list(places))
+    medium = WirelessMedium(
+        sim, mobility, tx_range=250.0, event_batch=routing_fast
+    )
+    recorder = TraceRecorder(len(places))
+    nodes = [Node(i, sim, medium, recorder[i]) for i in range(len(places))]
+    cls = AodvProtocol if protocol == "aodv" else DsrProtocol
+    protocols = [cls(node, routing_fast=routing_fast) for node in nodes]
+    return sim, nodes, protocols, recorder
+
+
+def _make_rreq(protocol, origin, rreq_id, target, ttl):
+    if protocol == "aodv":
+        info = {
+            "rreq_id": rreq_id,
+            "origin_seq": 1,
+            "target": target,
+            "target_seq": 0,
+        }
+    else:
+        info = {"rreq_id": rreq_id, "target": target, "route": [origin]}
+    return Packet(
+        ptype=PacketType.RREQ, origin=origin, dest=BROADCAST,
+        size=48, ttl=ttl, info=info,
+    )
+
+
+def _run_floods(protocol, places, plan, routing_fast):
+    sim, nodes, protocols, recorder = _build(protocol, places, routing_fast)
+    for sender, origin, rreq_id, target, ttl, delay in plan:
+        packet = _make_rreq(protocol, origin, rreq_id, target, ttl)
+        sim.schedule(delay, nodes[sender].broadcast, packet)
+    sim.run(until=6.0)
+    return protocols, recorder
+
+
+@pytest.mark.parametrize("protocol", ["aodv", "dsr"])
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(places=positions, plan=floods)
+def test_randomized_rreq_fanouts_equivalent(protocol, places, plan):
+    n = len(places)
+    plan = [
+        (s % n, o % n, r, t % n, ttl, delay)
+        for s, o, r, t, ttl, delay in plan
+    ]
+    fast_protos, fast_rec = _run_floods(protocol, places, plan, True)
+    ref_protos, ref_rec = _run_floods(protocol, places, plan, False)
+
+    for i in range(n):
+        fast, ref = fast_protos[i], ref_protos[i]
+        # (1) seen-state: membership answers and totals agree on every
+        # node for the whole generated (origin, rreq_id) universe.
+        assert fast._seen_size() == ref._seen_size(), f"node {i}"
+        for origin in range(n):
+            for rreq_id in range(4):
+                assert fast._seen_has(origin, rreq_id) == \
+                    ref._seen_has(origin, rreq_id), (i, origin, rreq_id)
+        # (2) stats: the complete event streams, timestamp for timestamp.
+        assert fast_rec[i].packet_times == ref_rec[i].packet_times, f"node {i}"
+        assert fast_rec[i].route_times == ref_rec[i].route_times, f"node {i}"
+
+    # (3) rebroadcast order: merge every node's RREQ FORWARDED stream
+    # into one global (time, node) schedule and compare.
+    def schedule(recorder):
+        merged = []
+        for i in range(n):
+            merged.extend(
+                (t, i)
+                for t in recorder[i].packet_times[
+                    (PacketType.RREQ, Direction.FORWARDED)
+                ]
+            )
+        return sorted(merged)
+
+    assert schedule(fast_rec) == schedule(ref_rec)
